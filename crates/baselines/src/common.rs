@@ -1,0 +1,127 @@
+//! The baseline interface shared by every comparator in the paper's
+//! evaluation (§6.1): given the database, the training workload and the
+//! memory budget `k`, produce either a row selection (sampling/selection
+//! methods) or a fully synthetic database (generative methods).
+
+use asqp_core::{MetricParams, Selection};
+use asqp_db::{Database, DbResult, Workload};
+
+/// What a baseline produces.
+pub enum BaselineOutput {
+    /// Row ids per table — materialise with [`Database::subset`].
+    Selection(Selection),
+    /// A synthetic database (generative baselines: queries run on it
+    /// directly).
+    Synthetic(Database),
+}
+
+impl BaselineOutput {
+    /// Materialise into a queryable database.
+    pub fn materialize(&self, db: &Database) -> DbResult<Database> {
+        match self {
+            BaselineOutput::Selection(sel) => db.subset(sel),
+            BaselineOutput::Synthetic(s) => Ok(s.clone()),
+        }
+    }
+
+    /// Total tuples in the output.
+    pub fn tuple_count(&self) -> usize {
+        match self {
+            BaselineOutput::Selection(sel) => sel.values().map(Vec::len).sum(),
+            BaselineOutput::Synthetic(db) => db.total_rows(),
+        }
+    }
+}
+
+/// A competitor in the Fig. 2 / Fig. 8 / Fig. 9 comparisons.
+pub trait Baseline {
+    /// Short name as used in the paper's tables (RAN, BRT, GRE, ...).
+    fn name(&self) -> &'static str;
+
+    /// Build the approximation under a budget of `k` tuples.
+    fn build(
+        &mut self,
+        db: &Database,
+        train: &Workload,
+        k: usize,
+        params: MetricParams,
+    ) -> DbResult<BaselineOutput>;
+}
+
+/// Split a tuple budget across tables proportionally to their row counts
+/// (at least 1 per non-empty table when the budget allows).
+pub fn proportional_budget(db: &Database, k: usize) -> Vec<(String, usize)> {
+    let total: usize = db.total_rows();
+    if total == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut assigned = 0usize;
+    let tables: Vec<_> = db.tables().filter(|t| t.row_count() > 0).collect();
+    for (i, t) in tables.iter().enumerate() {
+        let share = if i + 1 == tables.len() {
+            k.saturating_sub(assigned) // remainder to the last table
+        } else {
+            ((k as f64) * (t.row_count() as f64) / (total as f64)).round() as usize
+        };
+        let share = share.min(t.row_count());
+        assigned += share;
+        out.push((t.name().to_string(), share));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_db::{Schema, Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (name, n) in [("big", 90usize), ("small", 10)] {
+            let t = db
+                .create_table(name, Schema::build(&[("x", ValueType::Int)]))
+                .unwrap();
+            for i in 0..n {
+                t.push_row(&[Value::Int(i as i64)]).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn proportional_split() {
+        let db = db();
+        let b = proportional_budget(&db, 20);
+        let m: std::collections::HashMap<_, _> = b.into_iter().collect();
+        assert_eq!(m["big"], 18);
+        assert_eq!(m["small"], 2);
+    }
+
+    #[test]
+    fn budget_never_exceeds_table_size() {
+        let db = db();
+        let b = proportional_budget(&db, 1000);
+        for (name, share) in b {
+            assert!(share <= db.table(&name).unwrap().row_count());
+        }
+    }
+
+    #[test]
+    fn zero_budget() {
+        let db = db();
+        assert!(proportional_budget(&db, 0).is_empty());
+    }
+
+    #[test]
+    fn output_materialize_and_count() {
+        let db = db();
+        let mut sel = Selection::new();
+        sel.insert("big".into(), vec![0, 1, 2]);
+        let out = BaselineOutput::Selection(sel);
+        assert_eq!(out.tuple_count(), 3);
+        let m = out.materialize(&db).unwrap();
+        assert_eq!(m.table("big").unwrap().row_count(), 3);
+        assert_eq!(m.table("small").unwrap().row_count(), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Database-domain baselines (§6.1): CACH (LRU cache simulation), QRD
+//! (query-result diversification via medoids), SKY (onion-peeled skyline
+//! with frequency-ordered categoricals).
+
+use crate::common::{proportional_budget, Baseline, BaselineOutput};
+use asqp_core::{MetricParams, Selection};
+use asqp_db::{Database, DbResult, Table, TableStats, Value, Workload};
+use asqp_embed::{kmeans, Embedder};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::collections::HashMap;
+
+/// CACH — simulate an LRU tuple cache while the workload executes in an
+/// interleaved order (the paper's footnote: multiple users with different
+/// interests hit the cache simultaneously, so the order is shuffled).
+pub struct LruCache {
+    pub seed: u64,
+}
+
+impl Baseline for LruCache {
+    fn name(&self) -> &'static str {
+        "CACH"
+    }
+
+    fn build(
+        &mut self,
+        db: &Database,
+        train: &Workload,
+        k: usize,
+        _params: MetricParams,
+    ) -> DbResult<BaselineOutput> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xcac4e);
+        // Shuffled execution order (interleaved user interests).
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        // LRU over (table, row): most-recent at the back.
+        let mut lru: Vec<(String, usize)> = Vec::new();
+        let mut pos: HashMap<(String, usize), ()> = HashMap::new();
+        for &qi in &order {
+            let q = train.queries[qi].strip_aggregates();
+            let out = db.execute_with_lineage(&q)?;
+            for lin in &out.lineage {
+                for (bi, &rid) in lin.iter().enumerate() {
+                    let key = (out.binding_tables[bi].clone(), rid);
+                    if pos.contains_key(&key) {
+                        // Touch: move to the back.
+                        if let Some(p) = lru.iter().position(|e| *e == key) {
+                            let e = lru.remove(p);
+                            lru.push(e);
+                        }
+                        continue;
+                    }
+                    if lru.len() >= k {
+                        let evicted = lru.remove(0);
+                        pos.remove(&evicted);
+                    }
+                    pos.insert(key.clone(), ());
+                    lru.push(key);
+                }
+            }
+        }
+        let mut sel = Selection::new();
+        for (table, rid) in lru {
+            sel.entry(table).or_default().push(rid);
+        }
+        for rows in sel.values_mut() {
+            rows.sort_unstable();
+            rows.dedup();
+        }
+        Ok(BaselineOutput::Selection(sel))
+    }
+}
+
+/// QRD — query-result diversification (Liu & Jagadish 2009 style): embed a
+/// sample of tuples, cluster, take medoid-centred representatives
+/// round-robin until the budget is filled. Workload-agnostic (usable in the
+/// no-workload experiment, Fig. 6).
+pub struct QueryResultDiversification {
+    pub seed: u64,
+    /// Tuples sampled per table before clustering (bounds the O(n·k) cost).
+    pub sample_per_table: usize,
+}
+
+impl Default for QueryResultDiversification {
+    fn default() -> Self {
+        QueryResultDiversification {
+            seed: 0,
+            sample_per_table: 2000,
+        }
+    }
+}
+
+impl Baseline for QueryResultDiversification {
+    fn name(&self) -> &'static str {
+        "QRD"
+    }
+
+    fn build(
+        &mut self,
+        db: &Database,
+        _train: &Workload,
+        k: usize,
+        _params: MetricParams,
+    ) -> DbResult<BaselineOutput> {
+        let embedder = Embedder::new(64);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x92d);
+        let mut sel = Selection::new();
+        for (table_name, share) in proportional_budget(db, k) {
+            if share == 0 {
+                continue;
+            }
+            let table = db.table(&table_name)?;
+            let n = table.row_count();
+            // Sample row ids.
+            let mut ids: Vec<usize> = (0..n).collect();
+            for i in 0..self.sample_per_table.min(n) {
+                let j = rng.random_range(i..n);
+                ids.swap(i, j);
+            }
+            ids.truncate(self.sample_per_table.min(n));
+            // Embed and cluster.
+            let points: Vec<Vec<f32>> = ids
+                .iter()
+                .map(|&rid| embedder.embed_tuple(table.schema(), &table.row(rid)))
+                .collect();
+            let n_clusters = share.min(64).max(1);
+            let clustering = kmeans(&points, n_clusters, 15, &mut rng);
+            // Round-robin across clusters: medoid-closest first.
+            let mut per_cluster: Vec<Vec<usize>> = vec![Vec::new(); clustering.centroids.len()];
+            for (pi, &c) in clustering.assignment.iter().enumerate() {
+                per_cluster[c].push(pi);
+            }
+            for members in per_cluster.iter_mut() {
+                members.sort_by(|&a, &b| {
+                    let da = asqp_embed::sq_dist(&points[a], &clustering.centroids[clustering.assignment[a]]);
+                    let db_ = asqp_embed::sq_dist(&points[b], &clustering.centroids[clustering.assignment[b]]);
+                    da.partial_cmp(&db_).unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+            let mut chosen: Vec<usize> = Vec::with_capacity(share);
+            let mut round = 0usize;
+            while chosen.len() < share {
+                let mut any = false;
+                for members in &per_cluster {
+                    if let Some(&pi) = members.get(round) {
+                        chosen.push(ids[pi]);
+                        any = true;
+                        if chosen.len() >= share {
+                            break;
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+                round += 1;
+            }
+            chosen.sort_unstable();
+            chosen.dedup();
+            sel.insert(table_name, chosen);
+        }
+        Ok(BaselineOutput::Selection(sel))
+    }
+}
+
+/// SKY — skyline summarisation (Papadias et al. 2005) extended to
+/// categorical columns by value frequency (paper §6.1), peeled in onion
+/// layers until the budget is filled.
+pub struct Skyline;
+
+impl Skyline {
+    /// Per-row preference vector: numeric columns as-is (higher better),
+    /// categorical columns mapped to their value frequency.
+    fn preference_vectors(table: &Table) -> Vec<Vec<f64>> {
+        let stats = TableStats::compute(table);
+        let n = table.row_count();
+        let ncols = table.schema().len();
+        // Frequency lookup per categorical column.
+        let mut freq: Vec<HashMap<Value, usize>> = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let mut m = HashMap::new();
+            if table.schema().column(c).ty == asqp_db::ValueType::Str {
+                for r in 0..n {
+                    *m.entry(table.value(r, c)).or_insert(0) += 1;
+                }
+            }
+            freq.push(m);
+        }
+        let _ = stats;
+        (0..n)
+            .map(|r| {
+                (0..ncols)
+                    .map(|c| match table.value(r, c) {
+                        Value::Int(i) => i as f64,
+                        Value::Float(f) => f,
+                        Value::Bool(b) => b as i64 as f64,
+                        v @ Value::Str(_) => freq[c].get(&v).copied().unwrap_or(0) as f64,
+                        Value::Null => f64::NEG_INFINITY,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// One skyline layer (block-nested-loops): rows not dominated by any
+    /// other remaining row. `a` dominates `b` iff ≥ on all dims, > on one.
+    fn skyline_layer(prefs: &[Vec<f64>], remaining: &[usize]) -> Vec<usize> {
+        let dominates = |a: &[f64], b: &[f64]| {
+            let mut strict = false;
+            for (x, y) in a.iter().zip(b) {
+                if x < y {
+                    return false;
+                }
+                if x > y {
+                    strict = true;
+                }
+            }
+            strict
+        };
+        remaining
+            .iter()
+            .copied()
+            .filter(|&r| {
+                !remaining
+                    .iter()
+                    .any(|&o| o != r && dominates(&prefs[o], &prefs[r]))
+            })
+            .collect()
+    }
+}
+
+impl Baseline for Skyline {
+    fn name(&self) -> &'static str {
+        "SKY"
+    }
+
+    fn build(
+        &mut self,
+        db: &Database,
+        _train: &Workload,
+        k: usize,
+        _params: MetricParams,
+    ) -> DbResult<BaselineOutput> {
+        let mut sel = Selection::new();
+        for (table_name, share) in proportional_budget(db, k) {
+            if share == 0 {
+                continue;
+            }
+            let table = db.table(&table_name)?;
+            let prefs = Self::preference_vectors(table);
+            let mut remaining: Vec<usize> = (0..table.row_count()).collect();
+            let mut chosen: Vec<usize> = Vec::with_capacity(share);
+            while chosen.len() < share && !remaining.is_empty() {
+                let mut layer = Self::skyline_layer(&prefs, &remaining);
+                if layer.is_empty() {
+                    break; // all-equal rows: take arbitrarily
+                }
+                layer.truncate(share - chosen.len());
+                remaining.retain(|r| !layer.contains(r));
+                chosen.extend(layer);
+            }
+            // Degenerate tables (single value): fill from the front.
+            for r in remaining {
+                if chosen.len() >= share {
+                    break;
+                }
+                chosen.push(r);
+            }
+            chosen.sort_unstable();
+            chosen.dedup();
+            sel.insert(table_name, chosen);
+        }
+        Ok(BaselineOutput::Selection(sel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_data::{imdb, Scale};
+    use asqp_db::{Schema, ValueType};
+
+    fn setup() -> (Database, Workload) {
+        (imdb::generate(Scale::Tiny, 1), imdb::workload(10, 1))
+    }
+
+    #[test]
+    fn cach_holds_recent_query_tuples() {
+        let (db, w) = setup();
+        let mut cach = LruCache { seed: 3 };
+        let out = cach.build(&db, &w, 80, MetricParams::new(20)).unwrap();
+        assert!(out.tuple_count() > 0 && out.tuple_count() <= 80);
+        // Cached tuples answer at least part of the workload.
+        let sub = out.materialize(&db).unwrap();
+        let s = asqp_core::score(&db, &sub, &w, MetricParams::new(20)).unwrap();
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn qrd_fills_budget_with_diverse_rows() {
+        let (db, w) = setup();
+        let mut qrd = QueryResultDiversification {
+            seed: 1,
+            sample_per_table: 300,
+        };
+        let out = qrd.build(&db, &w, 60, MetricParams::new(20)).unwrap();
+        assert!(out.tuple_count() >= 50 && out.tuple_count() <= 60);
+    }
+
+    #[test]
+    fn skyline_prefers_dominating_rows() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                Schema::build(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+            )
+            .unwrap();
+        // Row 0 dominates everything; rows 1-2 form the second layer.
+        for (a, b) in [(10, 10), (9, 5), (5, 9), (1, 1)] {
+            t.push_row(&[Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let mut sky = Skyline;
+        let out = sky
+            .build(&db, &Workload::uniform(vec![]), 1, MetricParams::new(20))
+            .unwrap();
+        let BaselineOutput::Selection(sel) = out else {
+            panic!()
+        };
+        assert_eq!(sel["t"], vec![0], "top layer is the dominating row");
+    }
+
+    #[test]
+    fn skyline_onion_peels_until_budget() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t",
+                Schema::build(&[("a", ValueType::Int), ("b", ValueType::Int)]),
+            )
+            .unwrap();
+        for (a, b) in [(10, 10), (9, 5), (5, 9), (1, 1)] {
+            t.push_row(&[Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let mut sky = Skyline;
+        let out = sky
+            .build(&db, &Workload::uniform(vec![]), 3, MetricParams::new(20))
+            .unwrap();
+        let BaselineOutput::Selection(sel) = out else {
+            panic!()
+        };
+        assert_eq!(sel["t"], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # asqp-baselines — every comparator from the ASQP-RL evaluation (§6.1)
+//!
+//! | Name | Kind | Module |
+//! |------|------|--------|
+//! | RAN  | uniform random sampling | [`naive::RandomSampling`] |
+//! | BRT  | time-boxed brute force | [`naive::BruteForce`] |
+//! | GRE  | time-boxed greedy marginal gain | [`naive::Greedy`] |
+//! | TOP  | top-queried tuples | [`naive::TopQueried`] |
+//! | CACH | LRU cache simulation | [`dbstyle::LruCache`] |
+//! | QRD  | query-result diversification (medoids) | [`dbstyle::QueryResultDiversification`] |
+//! | SKY  | onion-peeled skyline | [`dbstyle::Skyline`] |
+//! | VERD | VerdictDB-style stratified sampling | [`aqp::Verdict`] |
+//! | QUIK | QuickR-style universe sampling | [`aqp::QuickR`] |
+//! | VAE  | generative model (gAQP) | [`vae::GenerativeVae`] |
+//! | SPN  | DeepDB Sum–Product Network (aggregates) | [`spn::Spn`] |
+//!
+//! All selection baselines implement the [`Baseline`] trait and run inside
+//! the same Fig. 2/8/9 harness as ASQP-RL.
+
+pub mod aqp;
+pub mod common;
+pub mod dbstyle;
+pub mod naive;
+pub mod spn;
+pub mod vae;
+
+pub use aqp::{QuickR, Verdict};
+pub use common::{proportional_budget, Baseline, BaselineOutput};
+pub use dbstyle::{LruCache, QueryResultDiversification, Skyline};
+pub use naive::{BruteForce, Greedy, RandomSampling, TopQueried};
+pub use spn::Spn;
+pub use vae::{GenerativeVae, TupleCodec};

@@ -1,0 +1,57 @@
+//! Run the entire experiment suite in sequence (every table and figure of
+//! the paper). Results print as tables and persist to `results/*.json`.
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin all_experiments           # small scale
+//! ASQP_SCALE=tiny cargo run --release -p asqp-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig02_overall",
+    "fig03_ablation",
+    "fig04_motivation",
+    "fig05_estimator",
+    "fig06_no_workload",
+    "fig07_drift",
+    "fig08_memory",
+    "fig09_frame",
+    "fig10_trainset",
+    "fig11_hyper",
+    "fig12_aggregates",
+    "fig_diversity",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let t0 = Instant::now();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let t = Instant::now();
+        let status = Command::new(exe_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        println!("[{name} finished in {:.1?}]", t.elapsed());
+        if !status.success() {
+            eprintln!("!! {name} exited with {status}");
+            failures.push(*name);
+        }
+    }
+    println!(
+        "\n================ suite done in {:.1?}; {}/{} experiments succeeded ================",
+        t0.elapsed(),
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

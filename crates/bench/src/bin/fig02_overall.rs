@@ -1,0 +1,105 @@
+//! **Fig. 2 — Quality and Running time**: Score, setup time and per-10-query
+//! answer time for ASQP-RL, ASQP-Light and all ten baselines, on the IMDB
+//! and MAS datasets.
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig02_overall
+//! ASQP_SCALE=medium cargo run --release -p asqp-bench --bin fig02_overall
+//! ```
+
+use asqp_bench::*;
+use asqp_core::{AsqpConfig, FullCounts};
+use asqp_db::{Database, Workload};
+use rand::SeedableRng;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 2 — overall comparison (scale {:?}, seed {})", env.scale, env.seed);
+
+    let datasets: Vec<(&str, Database, Workload)> = vec![
+        (
+            "IMDB",
+            asqp_data::imdb::generate(env.scale, env.seed),
+            asqp_data::imdb::workload(40, env.seed),
+        ),
+        (
+            "MAS",
+            asqp_data::mas::generate(env.scale, env.seed),
+            asqp_data::mas::workload(40, env.seed),
+        ),
+    ];
+
+    let mut all_rows = Vec::new();
+    for (name, db, workload) in &datasets {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+        let (train_w, test_w) = workload.split(0.7, &mut rng);
+        let k = env.default_k(db);
+        let cfg = scaled_config(&env, k, 50);
+        let params = cfg.metric_params();
+        let counts = FullCounts::compute(db, &test_w).expect("test counts");
+        println!(
+            "\n[{name}] {} tuples, k = {k}, {} train / {} test queries",
+            db.total_rows(),
+            train_w.len(),
+            test_w.len()
+        );
+
+        let mut table = ReportTable::new(
+            format!("Fig. 2 — {name}"),
+            &["Baseline", "Score", "setup", "QueryAvg(10q)", "tuples"],
+        );
+        let push = |m: &Measured, table: &mut ReportTable| {
+            table.row(vec![
+                m.name.clone(),
+                format!("{:.3}", m.score),
+                fmt_secs(m.setup_secs),
+                fmt_secs(m.query_avg_secs),
+                m.tuples.to_string(),
+            ]);
+        };
+
+        // ASQP-RL (full) and ASQP-Light.
+        let (m, _) = measure_asqp(db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
+            .expect("ASQP-RL trains");
+        println!("  ASQP-RL     score {:.3}  setup {}", m.score, fmt_secs(m.setup_secs));
+        push(&m, &mut table);
+        all_rows.push((name.to_string(), m));
+
+        let mut light = AsqpConfig::light(k, 50).with_seed(env.seed);
+        light.preprocess.max_actions = cfg.preprocess.max_actions / 2;
+        let (m, _) = measure_asqp(db, &train_w, &test_w, &counts, &light, "ASQP-Light")
+            .expect("ASQP-Light trains");
+        println!("  ASQP-Light  score {:.3}  setup {}", m.score, fmt_secs(m.setup_secs));
+        push(&m, &mut table);
+        all_rows.push((name.to_string(), m));
+
+        // Every baseline.
+        for mut b in baseline_roster(&env) {
+            let m = measure_baseline(db, &train_w, &test_w, &counts, k, params, b.as_mut())
+                .expect("baseline builds");
+            println!("  {:<11} score {:.3}  setup {}", m.name, m.score, fmt_secs(m.setup_secs));
+            push(&m, &mut table);
+            all_rows.push((name.to_string(), m));
+        }
+        print_table(&table);
+    }
+
+    save_json("fig02_overall", &all_rows);
+
+    // The paper's headline check: ASQP-RL on top per dataset.
+    for (name, _, _) in &datasets {
+        let rows: Vec<_> = all_rows.iter().filter(|(d, _)| d == name).collect();
+        let asqp = rows.iter().find(|(_, m)| m.name == "ASQP-RL").unwrap();
+        let best_other = rows
+            .iter()
+            .filter(|(_, m)| !m.name.starts_with("ASQP"))
+            .map(|(_, m)| m.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "[{name}] ASQP-RL {:.3} vs best baseline {:.3} ({})",
+            asqp.1.score,
+            best_other,
+            if asqp.1.score > best_other { "ASQP wins ✓" } else { "ASQP does NOT win ✗" }
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! **Fig. 3 — RL ablation study**: environments {GSL, DRP, DRP+GSL} ×
+//! agents {ASQP-RL, −ppo (A2C), −ppo −ac (REINFORCE)} on IMDB and MAS.
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig03_ablation
+//! ```
+
+use asqp_bench::*;
+use asqp_core::{EnvKind, FullCounts};
+use asqp_rl::AgentKind;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    dataset: String,
+    environment: &'static str,
+    agent: &'static str,
+    score: f64,
+    total_secs: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 3 — RL ablation (scale {:?}, seed {})", env.scale, env.seed);
+
+    let envs = [
+        (EnvKind::Gsl, "GSL"),
+        (EnvKind::Drp, "DRP"),
+        (EnvKind::DrpGsl, "DRP+GSL"),
+    ];
+    let agents = [
+        (AgentKind::Ppo, "ASQP-RL"),
+        (AgentKind::A2c, "ASQP-RL -ppo"),
+        (AgentKind::Reinforce, "ASQP-RL -ppo -ac"),
+    ];
+
+    let mut results: Vec<AblationRow> = Vec::new();
+    for dataset in ["IMDB", "MAS"] {
+        let (db, workload) = match dataset {
+            "IMDB" => (
+                asqp_data::imdb::generate(env.scale, env.seed),
+                asqp_data::imdb::workload(40, env.seed),
+            ),
+            _ => (
+                asqp_data::mas::generate(env.scale, env.seed),
+                asqp_data::mas::workload(40, env.seed),
+            ),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+        let (train_w, test_w) = workload.split(0.7, &mut rng);
+        let k = env.default_k(&db);
+        let counts = FullCounts::compute(&db, &test_w).expect("counts");
+
+        let mut table = ReportTable::new(
+            format!("Fig. 3 — {dataset}"),
+            &["Environment", "Agent", "Score", "Total Time"],
+        );
+        for (env_kind, env_name) in envs {
+            for (agent, agent_name) in agents {
+                let mut cfg = scaled_config(&env, k, 50);
+                cfg.env_kind = env_kind;
+                cfg.trainer.agent = agent;
+                let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, agent_name)
+                    .expect("ablation variant trains");
+                println!(
+                    "  [{dataset}] {env_name:<8} {agent_name:<18} score {:.3}  time {}",
+                    m.score,
+                    fmt_secs(m.setup_secs)
+                );
+                table.row(vec![
+                    env_name.to_string(),
+                    agent_name.to_string(),
+                    format!("{:.3}", m.score),
+                    fmt_secs(m.setup_secs),
+                ]);
+                results.push(AblationRow {
+                    dataset: dataset.to_string(),
+                    environment: env_name,
+                    agent: agent_name,
+                    score: m.score,
+                    total_secs: m.setup_secs,
+                });
+            }
+        }
+        print_table(&table);
+    }
+
+    save_json("fig03_ablation", &results);
+
+    // Paper conclusion check: GSL with the full agent is the best cell.
+    for dataset in ["IMDB", "MAS"] {
+        let rows: Vec<&AblationRow> = results.iter().filter(|r| r.dataset == dataset).collect();
+        let full = rows
+            .iter()
+            .find(|r| r.environment == "GSL" && r.agent == "ASQP-RL")
+            .unwrap();
+        let best = rows.iter().map(|r| r.score).fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "[{dataset}] GSL/full = {:.3}, best cell = {:.3} ({})",
+            full.score,
+            best,
+            if (full.score - best).abs() < 1e-9 { "GSL/full on top ✓" } else { "GSL/full not on top" }
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! **Fig. 4 — Problem justification**: cumulative average direct-query time
+//! as a workload executes against increasingly large versions of the IMDB
+//! database (the paper blows the data up and shows the wait becoming
+//! impractical).
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig04_motivation
+//! ```
+
+use asqp_bench::*;
+use asqp_data::Scale;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Point {
+    factor: u32,
+    tuples: usize,
+    queries_executed: usize,
+    cumulative_avg_secs: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 4 — direct-query cost vs database size (seed {})", env.seed);
+
+    let base = match env.scale {
+        Scale::Tiny => 1u32,
+        Scale::Medium => 50,
+        _ => 10,
+    };
+    let factors = [base, base * 2, base * 4, base * 8];
+    let workload = asqp_data::imdb::workload(12, env.seed);
+
+    let mut table = ReportTable::new(
+        "Fig. 4 — cumulative avg query time (s) by #queries",
+        &["DB tuples", "q1", "q4", "q8", "q12"],
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for factor in factors {
+        let db = asqp_data::imdb::generate(Scale::Factor(factor), env.seed);
+        let mut cumulative = 0.0f64;
+        let mut marks = Vec::new();
+        for (i, q) in workload.queries.iter().enumerate() {
+            let t0 = Instant::now();
+            db.execute(q).expect("query runs");
+            cumulative += t0.elapsed().as_secs_f64();
+            let avg = cumulative / (i + 1) as f64;
+            if [0, 3, 7, 11].contains(&i) {
+                marks.push(avg);
+            }
+            points.push(Point {
+                factor,
+                tuples: db.total_rows(),
+                queries_executed: i + 1,
+                cumulative_avg_secs: avg,
+            });
+        }
+        println!(
+            "  x{factor}: {} tuples, avg after 12 queries = {}",
+            db.total_rows(),
+            fmt_secs(marks[3])
+        );
+        table.row(vec![
+            db.total_rows().to_string(),
+            format!("{:.4}", marks[0]),
+            format!("{:.4}", marks[1]),
+            format!("{:.4}", marks[2]),
+            format!("{:.4}", marks[3]),
+        ]);
+    }
+    print_table(&table);
+    save_json("fig04_motivation", &points);
+
+    // Shape check: cost grows with database size.
+    let last_avg = |f: u32| {
+        points
+            .iter()
+            .filter(|p| p.factor == f && p.queries_executed == 12)
+            .map(|p| p.cumulative_avg_secs)
+            .next()
+            .unwrap()
+    };
+    let small = last_avg(factors[0]);
+    let big = last_avg(factors[3]);
+    println!(
+        "\n8x data -> {:.1}x slower queries ({})",
+        big / small.max(1e-12),
+        if big > small * 3.0 { "superlinear pain confirmed ✓" } else { "weaker than expected" }
+    );
+}

@@ -1,0 +1,119 @@
+//! **Fig. 5 — Answers-estimation quality**: the answerability estimator's
+//! precision and recall as the share of training queries shrinks
+//! {100%, 75%, 50%}, plus the paper's two full-system fallback variants
+//! (query the DB when the prediction falls below 0.6 / 0.8).
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig05_estimator
+//! ```
+
+use asqp_bench::*;
+use asqp_core::{per_query_fractions, AnswerabilityEstimator, FullCounts};
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EstimatorRow {
+    train_share: f64,
+    precision: f64,
+    recall: f64,
+}
+
+#[derive(Serialize)]
+struct FallbackRow {
+    threshold: f64,
+    avg_score: f64,
+    query_avg_secs: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 5 — estimator quality (scale {:?}, seed {})", env.scale, env.seed);
+
+    let db = asqp_data::imdb::generate(env.scale, env.seed);
+    let workload = asqp_data::imdb::workload(60, env.seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+    let (train_full, test_w) = workload.split(0.7, &mut rng);
+    let k = env.default_k(&db);
+    let test_counts = FullCounts::compute(&db, &test_w).expect("counts");
+
+    // Part 1: precision/recall vs share of training queries used.
+    let mut table = ReportTable::new(
+        "Fig. 5 — estimator precision/recall vs training share",
+        &["train share", "precision", "recall"],
+    );
+    let mut rows = Vec::new();
+    for share in [1.0f64, 0.75, 0.5] {
+        let train_w = train_full.truncate_frac(share);
+        let cfg = scaled_config(&env, k, 50);
+        let model = asqp_core::train(&db, &train_w, &cfg).expect("trains");
+        let sub = model.materialize(&db, None).expect("materialises");
+        let est = AnswerabilityEstimator::fit(&model, &db, &sub, cfg.metric_params())
+            .expect("estimator fits");
+        let truths = per_query_fractions(&sub, &test_w, &test_counts, cfg.metric_params())
+            .expect("fractions");
+        let (precision, recall) = est.precision_recall(&test_w.queries, &truths);
+        println!("  share {share:.2}: precision {precision:.2} recall {recall:.2}");
+        table.row(vec![
+            format!("{:.0}%", share * 100.0),
+            format!("{precision:.2}"),
+            format!("{recall:.2}"),
+        ]);
+        rows.push(EstimatorRow {
+            train_share: share,
+            precision,
+            recall,
+        });
+    }
+    print_table(&table);
+
+    // Part 2: full-system fallback — query the real DB whenever the
+    // estimator predicts below the threshold; report average achieved
+    // score and the time to answer 10 queries.
+    let cfg = scaled_config(&env, k, 50);
+    let model = asqp_core::train(&db, &train_full, &cfg).expect("trains");
+    let sub = model.materialize(&db, None).expect("materialises");
+    let est = AnswerabilityEstimator::fit(&model, &db, &sub, cfg.metric_params())
+        .expect("estimator fits");
+    let truths = per_query_fractions(&sub, &test_w, &test_counts, cfg.metric_params())
+        .expect("fractions");
+
+    let mut table2 = ReportTable::new(
+        "Fig. 5 — DB-fallback variants",
+        &["fallback below", "avg score", "QueryAvg(10q)"],
+    );
+    let mut fb_rows = Vec::new();
+    for threshold in [0.0f64, 0.6, 0.8] {
+        // Queries routed to the DB achieve a perfect score, at DB cost.
+        let mut total_score = 0.0;
+        let t0 = std::time::Instant::now();
+        let mut timed = 0usize;
+        for (qi, q) in test_w.queries.iter().enumerate() {
+            let routed_to_db = est.predict(q).score < threshold;
+            total_score += if routed_to_db { 1.0 } else { truths[qi] };
+            if timed < 10 {
+                if routed_to_db {
+                    db.execute(q).expect("runs");
+                } else {
+                    sub.execute(q).expect("runs");
+                }
+                timed += 1;
+            }
+        }
+        let avg_score = total_score / test_w.len() as f64;
+        let secs = t0.elapsed().as_secs_f64();
+        println!("  threshold {threshold:.1}: avg score {avg_score:.3}, 10 queries in {}", fmt_secs(secs));
+        table2.row(vec![
+            format!("{threshold:.1}"),
+            format!("{avg_score:.3}"),
+            fmt_secs(secs),
+        ]);
+        fb_rows.push(FallbackRow {
+            threshold,
+            avg_score,
+            query_avg_secs: secs,
+        });
+    }
+    print_table(&table2);
+    save_json("fig05_estimator", &(rows, fb_rows));
+}

@@ -1,0 +1,107 @@
+//! **Fig. 8 — effect of the memory budget k**: score of every method as k
+//! sweeps across four budgets (the paper's 1k / 5k / 10k / 15k, scaled to
+//! the dataset so the largest budget is a few percent of the data).
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig08_memory
+//! ```
+
+use asqp_bench::*;
+use asqp_core::FullCounts;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    method: String,
+    k: usize,
+    score: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 8 — score vs memory budget k (scale {:?}, seed {})", env.scale, env.seed);
+
+    let db = asqp_data::imdb::generate(env.scale, env.seed);
+    let workload = asqp_data::imdb::workload(40, env.seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+    let (train_w, test_w) = workload.split(0.7, &mut rng);
+    let counts = FullCounts::compute(&db, &test_w).expect("counts");
+
+    // k sweep: paper's 1k..15k mapped proportionally (base = ~0.3% of data).
+    let base = (db.total_rows() / 300).max(30);
+    let ks = [base, base * 5, base * 10, base * 15];
+    println!("k values: {ks:?} ({} tuples total)", db.total_rows());
+
+    let mut table = ReportTable::new(
+        "Fig. 8 — score vs k",
+        &["method", &format!("k={}", ks[0]), &format!("k={}", ks[1]),
+          &format!("k={}", ks[2]), &format!("k={}", ks[3])],
+    );
+    let mut points = Vec::new();
+
+    // ASQP-RL first.
+    let mut asqp_scores = Vec::new();
+    for &k in &ks {
+        let cfg = scaled_config(&env, k, 50);
+        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
+            .expect("trains");
+        asqp_scores.push(m.score);
+        points.push(SweepPoint {
+            method: "ASQP-RL".into(),
+            k,
+            score: m.score,
+        });
+    }
+    println!("  ASQP-RL: {asqp_scores:?}");
+    table.row(
+        std::iter::once("ASQP-RL".to_string())
+            .chain(asqp_scores.iter().map(|s| format!("{s:.3}")))
+            .collect(),
+    );
+
+    for mut b in fast_roster(&env) {
+        let mut scores = Vec::new();
+        for &k in &ks {
+            let m = measure_baseline(&db, &train_w, &test_w, &counts, k, scaled_config(&env, k, 50).metric_params(), b.as_mut())
+                .expect("builds");
+            scores.push(m.score);
+            points.push(SweepPoint {
+                method: b.name().into(),
+                k,
+                score: m.score,
+            });
+        }
+        println!("  {:<5}: {scores:?}", b.name());
+        table.row(
+            std::iter::once(b.name().to_string())
+                .chain(scores.iter().map(|s| format!("{s:.3}")))
+                .collect(),
+        );
+    }
+    print_table(&table);
+    save_json("fig08_memory", &points);
+
+    // Shape checks: ASQP leads at the largest k and everyone grows with k.
+    let at_max: Vec<(&str, f64)> = {
+        let kmax = ks[3];
+        let mut v: Vec<(&str, f64)> = Vec::new();
+        for p in &points {
+            if p.k == kmax {
+                v.push((p.method.as_str(), p.score));
+            }
+        }
+        v
+    };
+    let asqp = at_max.iter().find(|(m, _)| *m == "ASQP-RL").unwrap().1;
+    let best_other = at_max
+        .iter()
+        .filter(|(m, _)| *m != "ASQP-RL")
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nat k={}: ASQP {asqp:.3} vs best baseline {best_other:.3} ({})",
+        ks[3],
+        if asqp > best_other { "ASQP leads ✓" } else { "ordering differs" }
+    );
+}

@@ -1,0 +1,87 @@
+//! **Fig. 9 — effect of the frame size F**: score as F sweeps over
+//! {25, 50, 75, 100} with the memory budget fixed. Larger frames demand
+//! more tuples per query, so every method degrades; ASQP-RL should stay on
+//! top throughout.
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig09_frame
+//! ```
+
+use asqp_bench::*;
+use asqp_core::{FullCounts, MetricParams};
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    method: String,
+    frame: usize,
+    score: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 9 — score vs frame size F (scale {:?}, seed {})", env.scale, env.seed);
+
+    let db = asqp_data::imdb::generate(env.scale, env.seed);
+    let workload = asqp_data::imdb::workload(40, env.seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+    let (train_w, test_w) = workload.split(0.7, &mut rng);
+    let counts = FullCounts::compute(&db, &test_w).expect("counts");
+    let k = env.default_k(&db);
+    let frames = [25usize, 50, 75, 100];
+
+    let mut table = ReportTable::new(
+        "Fig. 9 — score vs F (k fixed)",
+        &["method", "F=25", "F=50", "F=75", "F=100"],
+    );
+    let mut points = Vec::new();
+
+    let mut asqp_scores = Vec::new();
+    for &f in &frames {
+        let cfg = scaled_config(&env, k, f);
+        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
+            .expect("trains");
+        asqp_scores.push(m.score);
+        points.push(SweepPoint {
+            method: "ASQP-RL".into(),
+            frame: f,
+            score: m.score,
+        });
+    }
+    println!("  ASQP-RL: {asqp_scores:?}");
+    table.row(
+        std::iter::once("ASQP-RL".to_string())
+            .chain(asqp_scores.iter().map(|s| format!("{s:.3}")))
+            .collect(),
+    );
+
+    for mut b in fast_roster(&env) {
+        let mut scores = Vec::new();
+        for &f in &frames {
+            let m = measure_baseline(&db, &train_w, &test_w, &counts, k, MetricParams::new(f), b.as_mut())
+                .expect("builds");
+            scores.push(m.score);
+            points.push(SweepPoint {
+                method: b.name().into(),
+                frame: f,
+                score: m.score,
+            });
+        }
+        println!("  {:<5}: {scores:?}", b.name());
+        table.row(
+            std::iter::once(b.name().to_string())
+                .chain(scores.iter().map(|s| format!("{s:.3}")))
+                .collect(),
+        );
+    }
+    print_table(&table);
+    save_json("fig09_frame", &points);
+
+    // Shape: scores weakly decrease in F for ASQP (harder problem).
+    let dec = asqp_scores.windows(2).filter(|w| w[1] <= w[0] + 0.03).count();
+    println!(
+        "\nASQP monotonicity in F: {dec}/3 steps non-increasing ({})",
+        if dec >= 2 { "expected shape ✓" } else { "noisy" }
+    );
+}

@@ -1,0 +1,69 @@
+//! **Fig. 10 — effect of the training-set size**: (a) score and (b) setup
+//! time as the share of training queries actually executed shrinks
+//! {100%, 75%, 50%, 25%}.
+//!
+//! ```sh
+//! cargo run --release -p asqp-bench --bin fig10_trainset
+//! ```
+
+use asqp_bench::*;
+use asqp_core::FullCounts;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TrainsetPoint {
+    share: f64,
+    score: f64,
+    setup_secs: f64,
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("Fig. 10 — score & time vs training-set share (scale {:?}, seed {})", env.scale, env.seed);
+
+    let db = asqp_data::imdb::generate(env.scale, env.seed);
+    let workload = asqp_data::imdb::workload(60, env.seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
+    let (train_full, test_w) = workload.split(0.7, &mut rng);
+    let counts = FullCounts::compute(&db, &test_w).expect("counts");
+    let k = env.default_k(&db);
+
+    let mut table = ReportTable::new(
+        "Fig. 10 — ASQP-RL vs training share",
+        &["train share", "score", "setup"],
+    );
+    let mut points = Vec::new();
+    for share in [1.0f64, 0.75, 0.5, 0.25] {
+        let train_w = train_full.truncate_frac(share);
+        let cfg = scaled_config(&env, k, 50);
+        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
+            .expect("trains");
+        println!(
+            "  share {share:.2} ({} queries): score {:.3}, setup {}",
+            train_w.len(),
+            m.score,
+            fmt_secs(m.setup_secs)
+        );
+        table.row(vec![
+            format!("{:.0}%", share * 100.0),
+            format!("{:.3}", m.score),
+            fmt_secs(m.setup_secs),
+        ]);
+        points.push(TrainsetPoint {
+            share,
+            score: m.score,
+            setup_secs: m.setup_secs,
+        });
+    }
+    print_table(&table);
+    save_json("fig10_trainset", &points);
+
+    let full = &points[0];
+    let quarter = points.last().unwrap();
+    println!(
+        "\n25% of the training queries keeps {:.0}% of the quality at {:.0}% of the time",
+        100.0 * quarter.score / full.score.max(1e-9),
+        100.0 * quarter.setup_secs / full.setup_secs.max(1e-9)
+    );
+}

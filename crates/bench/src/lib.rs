@@ -1,0 +1,290 @@
+//! # asqp-bench — experiment harness for the ASQP-RL paper
+//!
+//! One binary per table/figure (see DESIGN.md §4). Shared plumbing lives
+//! here: scale/seed selection from the environment, the paper's
+//! Score / setup / QueryAvg measurement protocol, ASCII tables, and JSON
+//! result dumps under `results/` (consumed when regenerating
+//! EXPERIMENTS.md).
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `ASQP_SCALE` — `tiny` | `small` (default) | `medium` | an integer factor
+//! * `ASQP_SEED`  — experiment seed (default 7)
+
+use asqp_baselines::{Baseline, BaselineOutput};
+use asqp_core::{score_with_counts, AsqpConfig, FullCounts, MetricParams, TrainedModel};
+use asqp_data::Scale;
+use asqp_db::{Database, DbResult, Workload};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+pub mod report;
+
+pub use report::{print_table, save_json, Table as ReportTable};
+
+/// Experiment environment: scale + seed, read once per binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchEnv {
+    pub scale: Scale,
+    pub seed: u64,
+}
+
+impl BenchEnv {
+    pub fn from_env() -> BenchEnv {
+        let scale = match std::env::var("ASQP_SCALE").unwrap_or_default().as_str() {
+            "tiny" => Scale::Tiny,
+            "medium" => Scale::Medium,
+            "" | "small" => Scale::Small,
+            other => match other.parse::<u32>() {
+                Ok(f) => Scale::Factor(f),
+                Err(_) => {
+                    eprintln!("unknown ASQP_SCALE '{other}', using small");
+                    Scale::Small
+                }
+            },
+        };
+        let seed = std::env::var("ASQP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        BenchEnv { scale, seed }
+    }
+
+    /// Default tuple budget at this scale (~1% of the dataset).
+    pub fn default_k(&self, db: &Database) -> usize {
+        (db.total_rows() / 100).max(100)
+    }
+}
+
+/// One measured row of the Fig. 2 table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measured {
+    pub name: String,
+    /// Eq.-1 score on the held-out test workload.
+    pub score: f64,
+    /// Time to produce a queryable approximation, in seconds.
+    pub setup_secs: f64,
+    /// Time to answer 10 test queries on the approximation, in seconds.
+    pub query_avg_secs: f64,
+    /// Tuples in the approximation.
+    pub tuples: usize,
+}
+
+/// Run one baseline under the paper's measurement protocol.
+pub fn measure_baseline(
+    db: &Database,
+    train_w: &Workload,
+    test_w: &Workload,
+    test_counts: &FullCounts,
+    k: usize,
+    params: MetricParams,
+    baseline: &mut dyn Baseline,
+) -> DbResult<Measured> {
+    let t0 = Instant::now();
+    let output = baseline.build(db, train_w, k, params)?;
+    let approx = output.materialize(db)?;
+    let setup_secs = t0.elapsed().as_secs_f64();
+
+    let score = score_with_counts(&approx, test_w, test_counts, params)?;
+    let query_avg_secs = time_ten_queries(&approx, test_w)?;
+    Ok(Measured {
+        name: baseline.name().to_string(),
+        score,
+        setup_secs,
+        query_avg_secs,
+        tuples: output.tuple_count(),
+    })
+}
+
+/// Train ASQP-RL and measure it under the same protocol.
+pub fn measure_asqp(
+    db: &Database,
+    train_w: &Workload,
+    test_w: &Workload,
+    test_counts: &FullCounts,
+    cfg: &AsqpConfig,
+    name: &str,
+) -> DbResult<(Measured, TrainedModel)> {
+    let t0 = Instant::now();
+    let model = asqp_core::train(db, train_w, cfg)?;
+    let approx = model.materialize(db, None)?;
+    let setup_secs = t0.elapsed().as_secs_f64();
+
+    let params = cfg.metric_params();
+    let score = score_with_counts(&approx, test_w, test_counts, params)?;
+    let query_avg_secs = time_ten_queries(&approx, test_w)?;
+    Ok((
+        Measured {
+            name: name.to_string(),
+            score,
+            setup_secs,
+            query_avg_secs,
+            tuples: approx.total_rows(),
+        },
+        model,
+    ))
+}
+
+/// The paper's "QueryAvg" column: wall-clock to answer 10 workload queries.
+pub fn time_ten_queries(approx: &Database, w: &Workload) -> DbResult<f64> {
+    if w.is_empty() {
+        return Ok(0.0);
+    }
+    let t0 = Instant::now();
+    for q in w.queries.iter().cycle().take(10) {
+        approx.execute(q)?;
+    }
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// An ASQP config tuned to finish the full experiment suite at `scale` in
+/// minutes rather than hours, while keeping the paper's §6.1 hyper-parameter
+/// *ratios* (entropy 0.001, KL 0.2, PPO) intact.
+pub fn scaled_config(env: &BenchEnv, k: usize, frame: usize) -> AsqpConfig {
+    let mut cfg = AsqpConfig::full(k, frame).with_seed(env.seed);
+    // The action-space pool must comfortably exceed the tuple budget or
+    // even an oracle selection cannot reach a good score; ~4 tuples per
+    // action means max_actions ≳ k covers the budget several times over.
+    match env.scale {
+        Scale::Tiny => {
+            cfg.preprocess.n_representatives = 12;
+            cfg.preprocess.max_actions = (3 * k).clamp(256, 768);
+            cfg.preprocess.per_query_cap = 120;
+            cfg.iterations = 25;
+            cfg.trainer.num_workers = 2;
+        }
+        _ => {
+            cfg.preprocess.n_representatives = 16;
+            cfg.preprocess.max_actions = (2 * k).clamp(512, 1024);
+            cfg.preprocess.per_query_cap = 250;
+            cfg.iterations = 40;
+            cfg.trainer.num_workers = 4;
+            cfg.trainer.steps_per_worker = 192;
+        }
+    }
+    cfg
+}
+
+/// Baseline time budgets (the paper's 48-hour caps scaled to the harness:
+/// BRT and GRE always hit their budget, exactly as in the paper).
+pub fn brute_force_budget(env: &BenchEnv) -> Duration {
+    match env.scale {
+        Scale::Tiny => Duration::from_secs(2),
+        _ => Duration::from_secs(8),
+    }
+}
+
+pub fn greedy_budget(env: &BenchEnv) -> Duration {
+    match env.scale {
+        Scale::Tiny => Duration::from_secs(2),
+        _ => Duration::from_secs(8),
+    }
+}
+
+/// The full Fig. 2 baseline roster (selection + generative baselines).
+pub fn baseline_roster(env: &BenchEnv) -> Vec<Box<dyn Baseline>> {
+    use asqp_baselines::*;
+    let seed = env.seed;
+    vec![
+        Box::new(GenerativeVae {
+            seed,
+            epochs: 15,
+            train_cap: 1000,
+            ..GenerativeVae::default()
+        }),
+        Box::new(LruCache { seed }),
+        Box::new(RandomSampling { seed }),
+        Box::new(QuickR { seed }),
+        Box::new(Verdict { seed }),
+        Box::new(Skyline),
+        Box::new(BruteForce {
+            seed,
+            time_budget: brute_force_budget(env),
+        }),
+        Box::new(QueryResultDiversification {
+            seed,
+            sample_per_table: 1500,
+        }),
+        Box::new(TopQueried { seed }),
+        Box::new(Greedy {
+            time_budget: greedy_budget(env),
+        }),
+    ]
+}
+
+/// The fast subset used by the sweep figures (8/9), where GRE/BRT/VAE
+/// would dominate wall-clock without changing the story.
+pub fn fast_roster(env: &BenchEnv) -> Vec<Box<dyn Baseline>> {
+    use asqp_baselines::*;
+    let seed = env.seed;
+    vec![
+        Box::new(RandomSampling { seed }),
+        Box::new(TopQueried { seed }),
+        Box::new(LruCache { seed }),
+        Box::new(Verdict { seed }),
+        Box::new(QuickR { seed }),
+        Box::new(Skyline),
+        Box::new(QueryResultDiversification {
+            seed,
+            sample_per_table: 1000,
+        }),
+    ]
+}
+
+/// Pretty seconds → the paper's minutes-style column.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Re-export for binaries that need to materialise baseline output.
+pub fn materialize(db: &Database, out: &BaselineOutput) -> DbResult<Database> {
+    out.materialize(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_baselines::RandomSampling;
+
+    #[test]
+    fn measurement_protocol_runs() {
+        let db = asqp_data::imdb::generate(Scale::Tiny, 1);
+        let w = asqp_data::imdb::workload(12, 1);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (train_w, test_w) = w.split(0.7, &mut rng);
+        let counts = FullCounts::compute(&db, &test_w).unwrap();
+        let params = MetricParams::new(20);
+        let mut ran = RandomSampling { seed: 1 };
+        let m = measure_baseline(&db, &train_w, &test_w, &counts, 60, params, &mut ran).unwrap();
+        assert_eq!(m.name, "RAN");
+        assert!(m.setup_secs >= 0.0);
+        assert!((0.0..=1.0).contains(&m.score));
+        assert!(m.tuples <= 60);
+    }
+
+    #[test]
+    fn rosters_have_expected_names() {
+        let env = BenchEnv {
+            scale: Scale::Tiny,
+            seed: 1,
+        };
+        let names: Vec<&str> = baseline_roster(&env).iter().map(|b| b.name()).collect();
+        for expected in ["VAE", "CACH", "RAN", "QUIK", "VERD", "SKY", "BRT", "QRD", "TOP", "GRE"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(5.0), "5.0s");
+        assert_eq!(fmt_secs(90.0), "1.5m");
+    }
+}

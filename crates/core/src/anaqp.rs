@@ -1,0 +1,308 @@
+//! The ANAQP problem definition (paper §3): exact solvers for small
+//! instances and the max-k-vertex-cover reduction that establishes
+//! NP-hardness.
+
+use crate::metric::{score_with_counts, FullCounts, MetricParams};
+use asqp_db::{ColumnDef, Database, DbResult, Expr, Query, Schema, Table, Value, ValueType, Workload};
+use std::collections::BTreeMap;
+
+/// A fully-specified ANAQP instance: `(T, Q, w, k, F)`.
+#[derive(Debug, Clone)]
+pub struct AnaqpInstance {
+    pub db: Database,
+    pub workload: Workload,
+    /// Memory budget: total tuples allowed across all table subsets.
+    pub k: usize,
+    pub params: MetricParams,
+}
+
+/// A candidate solution: row-id selections per table.
+pub type Selection = BTreeMap<String, Vec<usize>>;
+
+impl AnaqpInstance {
+    pub fn new(db: Database, workload: Workload, k: usize, frame_size: usize) -> Self {
+        AnaqpInstance {
+            db,
+            workload,
+            k,
+            params: MetricParams::new(frame_size),
+        }
+    }
+
+    /// Total tuples in a selection.
+    pub fn selection_size(sel: &Selection) -> usize {
+        sel.values().map(Vec::len).sum()
+    }
+
+    /// Score a selection under this instance's metric.
+    pub fn evaluate(&self, sel: &Selection) -> DbResult<f64> {
+        let sub = self.db.subset(sel)?;
+        let full = FullCounts::compute(&self.db, &self.workload)?;
+        score_with_counts(&sub, &self.workload, &full, self.params)
+    }
+
+    /// Exact solver by exhaustive enumeration over **single-table**
+    /// instances. Exponential (`C(n, k)`); intended only for tiny instances
+    /// in tests and for validating approximate solvers.
+    pub fn solve_exact_single_table(&self) -> DbResult<(Selection, f64)> {
+        let tables: Vec<&Table> = self.db.tables().collect();
+        assert_eq!(
+            tables.len(),
+            1,
+            "exact solver is defined for single-table instances"
+        );
+        let table = tables[0];
+        let n = table.row_count();
+        let k = self.k.min(n);
+        let full = FullCounts::compute(&self.db, &self.workload)?;
+
+        let mut best: (Selection, f64) = (BTreeMap::new(), -1.0);
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let mut sel = BTreeMap::new();
+            sel.insert(table.name().to_string(), combo.clone());
+            let sub = self.db.subset(&sel)?;
+            let s = score_with_counts(&sub, &self.workload, &full, self.params)?;
+            if s > best.1 {
+                best = (sel, s);
+            }
+            // Next k-combination of 0..n in lexicographic order.
+            if k == 0 {
+                break;
+            }
+            let mut i = k as isize - 1;
+            while i >= 0 && combo[i as usize] == n - k + i as usize {
+                i -= 1;
+            }
+            if i < 0 {
+                break;
+            }
+            combo[i as usize] += 1;
+            for j in (i as usize + 1)..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Greedy marginal-gain solver (the classic (1−1/e) heuristic for
+    /// coverage-like objectives). Used as a reference point and by the GRE
+    /// baseline. `time_budget` bounds wall-clock work, mirroring the
+    /// paper's 48-hour cap on GRE.
+    pub fn solve_greedy(&self, time_budget: std::time::Duration) -> DbResult<(Selection, f64)> {
+        let start = std::time::Instant::now();
+        let full = FullCounts::compute(&self.db, &self.workload)?;
+        let mut sel: Selection = BTreeMap::new();
+        let mut current = {
+            let sub = self.db.subset(&sel)?;
+            score_with_counts(&sub, &self.workload, &full, self.params)?
+        };
+        'outer: while Self::selection_size(&sel) < self.k {
+            let mut best: Option<(String, usize, f64)> = None;
+            for table in self.db.tables() {
+                let chosen = sel.get(table.name()).cloned().unwrap_or_default();
+                for rid in 0..table.row_count() {
+                    if chosen.contains(&rid) {
+                        continue;
+                    }
+                    if start.elapsed() > time_budget {
+                        break 'outer; // return the best found so far
+                    }
+                    let mut cand = sel.clone();
+                    cand.entry(table.name().to_string()).or_default().push(rid);
+                    let sub = self.db.subset(&cand)?;
+                    let s = score_with_counts(&sub, &self.workload, &full, self.params)?;
+                    if best.as_ref().is_none_or(|b| s > b.2) {
+                        best = Some((table.name().to_string(), rid, s));
+                    }
+                }
+            }
+            match best {
+                Some((t, rid, s)) if s > current => {
+                    sel.entry(t).or_default().push(rid);
+                    current = s;
+                }
+                Some((t, rid, s)) => {
+                    // No strict gain: still consume budget to avoid looping.
+                    sel.entry(t).or_default().push(rid);
+                    current = s;
+                }
+                None => break,
+            }
+        }
+        Ok((sel, current))
+    }
+}
+
+/// A weighted undirected graph instance of **max-k-vertex-cover**: choose
+/// `k` vertices maximising the total weight of edges with at least one
+/// endpoint chosen.
+#[derive(Debug, Clone)]
+pub struct MaxKVertexCover {
+    pub vertices: usize,
+    /// `(u, v, weight)` edges.
+    pub edges: Vec<(usize, usize, f64)>,
+    pub k: usize,
+}
+
+impl MaxKVertexCover {
+    /// The paper's NP-hardness reduction (§3): vertices become tuples of a
+    /// single table, each edge becomes a query returning exactly its two
+    /// endpoint tuples, edge weights become query weights, and `F = 1` so a
+    /// covered edge needs only one endpoint in the subset.
+    pub fn to_anaqp(&self) -> AnaqpInstance {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![ColumnDef::new("vid", ValueType::Int).not_null()])
+            .expect("valid schema");
+        let t = db.create_table("vertices", schema).expect("fresh database");
+        for v in 0..self.vertices {
+            t.push_row(&[Value::Int(v as i64)]).expect("valid row");
+        }
+        let queries: Vec<Query> = self
+            .edges
+            .iter()
+            .map(|&(u, v, _)| {
+                Query::builder()
+                    .select_col("vertices", "vid")
+                    .from("vertices")
+                    .filter(Expr::In {
+                        expr: Box::new(Expr::col("vertices", "vid")),
+                        list: vec![Value::Int(u as i64), Value::Int(v as i64)],
+                        negated: false,
+                    })
+                    .build()
+            })
+            .collect();
+        let weights: Vec<f64> = self.edges.iter().map(|&(_, _, w)| w).collect();
+        AnaqpInstance::new(db, Workload::weighted(queries, weights), self.k, 1)
+    }
+
+    /// Brute-force max-k-vertex-cover (for validating the reduction).
+    pub fn solve_exact(&self) -> (Vec<usize>, f64) {
+        let n = self.vertices;
+        let k = self.k.min(n);
+        let total_w: f64 = self.edges.iter().map(|e| e.2).sum();
+        let mut best = (Vec::new(), -1.0);
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            let covered: f64 = self
+                .edges
+                .iter()
+                .filter(|&&(u, v, _)| combo.contains(&u) || combo.contains(&v))
+                .map(|e| e.2)
+                .sum();
+            let frac = if total_w > 0.0 { covered / total_w } else { 1.0 };
+            if frac > best.1 {
+                best = (combo.clone(), frac);
+            }
+            if k == 0 {
+                break;
+            }
+            let mut i = k as isize - 1;
+            while i >= 0 && combo[i as usize] == n - k + i as usize {
+                i -= 1;
+            }
+            if i < 0 {
+                break;
+            }
+            combo[i as usize] += 1;
+            for j in (i as usize + 1)..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_db::sql::parse;
+
+    fn tiny_instance() -> AnaqpInstance {
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::build(&[("x", ValueType::Int)]))
+            .unwrap();
+        for i in 0..8 {
+            t.push_row(&[Value::Int(i)]).unwrap();
+        }
+        let w = Workload::uniform(vec![
+            parse("SELECT t.x FROM t WHERE t.x < 2").unwrap(),
+            parse("SELECT t.x FROM t WHERE t.x IN (5, 6)").unwrap(),
+            parse("SELECT t.x FROM t WHERE t.x = 7").unwrap(),
+        ]);
+        AnaqpInstance::new(db, w, 3, 1)
+    }
+
+    #[test]
+    fn exact_solver_finds_optimum() {
+        let inst = tiny_instance();
+        let (sel, score) = inst.solve_exact_single_table().unwrap();
+        // With F=1, one row per query suffices: e.g. {0 or 1, 5 or 6, 7}.
+        assert!((score - 1.0).abs() < 1e-12, "score = {score}");
+        let rows = &sel["t"];
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&7));
+        assert!(rows.iter().any(|&r| r == 0 || r == 1));
+        assert!(rows.iter().any(|&r| r == 5 || r == 6));
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_modular_instance() {
+        let inst = tiny_instance();
+        let (_, exact) = inst.solve_exact_single_table().unwrap();
+        let (gsel, gscore) = inst
+            .solve_greedy(std::time::Duration::from_secs(10))
+            .unwrap();
+        assert!((gscore - exact).abs() < 1e-9, "greedy {gscore} vs exact {exact}");
+        assert!(AnaqpInstance::selection_size(&gsel) <= inst.k);
+    }
+
+    #[test]
+    fn budget_constraint_binds() {
+        let mut inst = tiny_instance();
+        inst.k = 1;
+        let (sel, score) = inst.solve_exact_single_table().unwrap();
+        assert_eq!(AnaqpInstance::selection_size(&sel), 1);
+        // One row can perfectly answer at most one of the three queries.
+        assert!(score < 0.5);
+    }
+
+    #[test]
+    fn reduction_preserves_optimum() {
+        // Path graph 0-1-2-3 with k=1: vertex 1 or 2 covers 2 of 3 edges.
+        let g = MaxKVertexCover {
+            vertices: 4,
+            edges: vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+            k: 1,
+        };
+        let (cover, gfrac) = g.solve_exact();
+        assert!((gfrac - 2.0 / 3.0).abs() < 1e-12);
+        assert!(cover == vec![1] || cover == vec![2]);
+
+        let inst = g.to_anaqp();
+        let (sel, ascore) = inst.solve_exact_single_table().unwrap();
+        assert!(
+            (ascore - gfrac).abs() < 1e-9,
+            "ANAQP optimum {ascore} must equal cover optimum {gfrac}"
+        );
+        let chosen = &sel["vertices"];
+        assert!(chosen == &vec![1] || chosen == &vec![2]);
+    }
+
+    #[test]
+    fn reduction_with_weights() {
+        // Star with a heavy edge: covering the heavy edge dominates.
+        let g = MaxKVertexCover {
+            vertices: 4,
+            edges: vec![(0, 1, 10.0), (0, 2, 1.0), (1, 3, 1.0)],
+            k: 1,
+        };
+        let (_, gfrac) = g.solve_exact();
+        let inst = g.to_anaqp();
+        let (_, ascore) = inst.solve_exact_single_table().unwrap();
+        assert!((ascore - gfrac).abs() < 1e-9);
+        assert!((gfrac - 11.0 / 12.0).abs() < 1e-12);
+    }
+}

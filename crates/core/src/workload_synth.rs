@@ -1,0 +1,304 @@
+//! Workload synthesis for the *unknown query workload* mode (paper §4.5):
+//! queries are generated from table statistics — numeric ranges around
+//! mean ± std, categorical filters sampled from the (popularity-weighted)
+//! top values — plus joins discovered by value containment.
+
+use asqp_db::{
+    ColRef, Database, Expr, Query, TableStats, Value, ValueType, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::collections::HashSet;
+
+/// A discovered foreign-key-like edge: `from_table.from_col` values are
+/// contained in (near-unique) `to_table.to_col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    pub from_table: String,
+    pub from_col: String,
+    pub to_table: String,
+    pub to_col: String,
+}
+
+/// Detect joinable column pairs by value containment: the referenced column
+/// must be near-unique and contain (a sample of) the referencing column's
+/// values. String columns rely on containment alone; integer columns also
+/// require a name affinity (`*_id` → `id`, or equal names) because dense
+/// integer key ranges contain each other by accident.
+pub fn detect_joins(db: &Database) -> Vec<JoinEdge> {
+    const SAMPLE: usize = 32;
+    const UNIQUENESS: f64 = 0.9;
+    const CONTAINMENT: f64 = 0.9;
+
+    let stats: Vec<TableStats> = db.tables().map(TableStats::compute).collect();
+    let mut edges = Vec::new();
+
+    for from in db.tables() {
+        for (fci, fcol) in from.schema().columns().iter().enumerate() {
+            if !matches!(fcol.ty, ValueType::Int | ValueType::Str) {
+                continue;
+            }
+            for to in db.tables() {
+                if to.name() == from.name() {
+                    continue;
+                }
+                let Some(tci) = to.schema().index_of(&fcol_join_target(&fcol.name, to, fcol.ty))
+                else {
+                    continue;
+                };
+                let tcol = to.schema().column(tci);
+                if tcol.ty != fcol.ty {
+                    continue;
+                }
+                // Referenced column must be near-unique.
+                let tstats = stats
+                    .iter()
+                    .find(|s| s.table == to.name())
+                    .expect("stats per table");
+                let tcol_stats = &tstats.columns[tci];
+                if tstats.row_count == 0
+                    || (tcol_stats.distinct as f64) < UNIQUENESS * tstats.row_count as f64
+                {
+                    continue;
+                }
+                // Containment of a sample of referencing values.
+                let distinct: HashSet<Value> =
+                    (0..to.row_count()).map(|r| to.value(r, tci)).collect();
+                let n = from.row_count();
+                if n == 0 {
+                    continue;
+                }
+                let step = (n / SAMPLE).max(1);
+                let mut hit = 0usize;
+                let mut seen = 0usize;
+                for r in (0..n).step_by(step) {
+                    let v = from.value(r, fci);
+                    if v.is_null() {
+                        continue;
+                    }
+                    seen += 1;
+                    if distinct.contains(&v) {
+                        hit += 1;
+                    }
+                }
+                if seen > 0 && hit as f64 >= CONTAINMENT * seen as f64 {
+                    edges.push(JoinEdge {
+                        from_table: from.name().to_string(),
+                        from_col: fcol.name.clone(),
+                        to_table: to.name().to_string(),
+                        to_col: tcol.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Name-affinity target: which column of `to` could `from_col` reference?
+/// Integers need `x_id` → `id` or equal names; strings may also reference
+/// `code`-style natural keys by containment alone.
+fn fcol_join_target(from_col: &str, to: &asqp_db::Table, ty: ValueType) -> String {
+    match ty {
+        ValueType::Int => {
+            if from_col.ends_with("_id") && to.schema().index_of("id").is_some() {
+                "id".to_string()
+            } else {
+                from_col.to_string() // equal-name match
+            }
+        }
+        _ => {
+            // Strings: prefer an equal name, else a natural key column.
+            if to.schema().index_of(from_col).is_some() {
+                from_col.to_string()
+            } else if to.schema().index_of("code").is_some() {
+                "code".to_string()
+            } else {
+                from_col.to_string()
+            }
+        }
+    }
+}
+
+/// Synthesise `n` SPJ queries from table statistics (paper §4.5): numeric
+/// range filters around μ ± σ, categorical equality/IN over top values
+/// (sampled with popularity), and containment-detected joins.
+pub fn synthesize_workload(db: &Database, n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f37);
+    let stats: Vec<TableStats> = db
+        .tables()
+        .map(TableStats::compute)
+        .filter(|s| s.row_count > 0)
+        .collect();
+    let joins = detect_joins(db);
+    let mut queries = Vec::with_capacity(n);
+    if stats.is_empty() {
+        return Workload::uniform(queries);
+    }
+
+    for i in 0..n {
+        // Pick a table weighted by row count (big tables get queried more).
+        let total_rows: usize = stats.iter().map(|s| s.row_count).sum();
+        let mut pick = rng.random_range(0..total_rows.max(1));
+        let mut ti = 0;
+        for (j, s) in stats.iter().enumerate() {
+            if pick < s.row_count {
+                ti = j;
+                break;
+            }
+            pick -= s.row_count;
+        }
+        let ts = &stats[ti];
+
+        let mut b = Query::builder().from_as(&ts.table, "t");
+        let mut filters: Vec<Expr> = Vec::new();
+        let n_filters = 1 + (i % 2);
+        let mut used: Vec<usize> = Vec::new();
+        for _ in 0..n_filters {
+            // Choose a column with usable statistics.
+            let candidates: Vec<usize> = (0..ts.columns.len())
+                .filter(|ci| !used.contains(ci))
+                .filter(|&ci| {
+                    let c = &ts.columns[ci];
+                    c.distinct > 1 && (c.mean.is_some() || !c.top_values.is_empty())
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let ci = candidates[rng.random_range(0..candidates.len())];
+            used.push(ci);
+            let c = &ts.columns[ci];
+            let expr = match (c.ty, c.mean, c.std) {
+                (ValueType::Int | ValueType::Float, Some(mean), Some(std)) => {
+                    // Range around μ ± aσ.
+                    let a = rng.random_range(0.2..1.5);
+                    let centre = mean + rng.random_range(-1.0..1.0) * std;
+                    let (lo, hi) = (centre - a * std, centre + a * std);
+                    let (lo, hi) = if c.ty == ValueType::Int {
+                        (Value::Int(lo.floor() as i64), Value::Int(hi.ceil() as i64))
+                    } else {
+                        (Value::Float(lo), Value::Float(hi))
+                    };
+                    Expr::Between {
+                        expr: Box::new(Expr::col("t", &c.name)),
+                        low: Box::new(Expr::Literal(lo)),
+                        high: Box::new(Expr::Literal(hi)),
+                        negated: false,
+                    }
+                }
+                _ => {
+                    // Categorical: sample top values with popularity weight.
+                    let total: usize = c.top_values.iter().map(|(_, n)| n).sum();
+                    let mut pick = rng.random_range(0..total.max(1));
+                    let mut chosen = &c.top_values[0].0;
+                    for (v, cnt) in &c.top_values {
+                        if pick < *cnt {
+                            chosen = v;
+                            break;
+                        }
+                        pick -= cnt;
+                    }
+                    Expr::eq(Expr::col("t", &c.name), Expr::Literal(chosen.clone()))
+                }
+            };
+            filters.push(expr);
+        }
+
+        // Occasionally join along a detected edge from this table.
+        let edge = joins
+            .iter()
+            .find(|e| e.from_table == ts.table && i % 3 == 0);
+        if let Some(e) = edge {
+            b = b.from_as(&e.to_table, "j");
+            b = b.join_on("t", &e.from_col, "j", &e.to_col);
+        }
+
+        // Project 2 random columns (or all for narrow tables).
+        if ts.columns.len() > 2 {
+            let c1 = rng.random_range(0..ts.columns.len());
+            let mut c2 = rng.random_range(0..ts.columns.len());
+            if c2 == c1 {
+                c2 = (c2 + 1) % ts.columns.len();
+            }
+            b = b
+                .select_col("t", &ts.columns[c1].name)
+                .select_col("t", &ts.columns[c2].name);
+        } else {
+            b = b.select_star();
+        }
+
+        if let Some(f) = Expr::conjunction(filters) {
+            b = b.filter(f);
+        }
+        queries.push(b.build());
+        let _ = ColRef::bare("x");
+    }
+    Workload::uniform(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asqp_data::{flights, imdb, Scale};
+
+    #[test]
+    fn detects_flights_string_fks() {
+        let db = flights::generate(Scale::Tiny, 1);
+        let edges = detect_joins(&db);
+        let has = |f: &str, fc: &str, t: &str, tc: &str| {
+            edges.iter().any(|e| {
+                e.from_table == f && e.from_col == fc && e.to_table == t && e.to_col == tc
+            })
+        };
+        assert!(has("flights", "carrier", "carriers", "code"), "{edges:?}");
+        assert!(has("flights", "origin", "airports", "code"), "{edges:?}");
+    }
+
+    #[test]
+    fn detects_imdb_int_fks_with_name_affinity() {
+        let db = imdb::generate(Scale::Tiny, 1);
+        let edges = detect_joins(&db);
+        // movie_id → title.id fails the name test (by design), but
+        // company_id → company.id and person_id → person.id hold.
+        let has = |f: &str, fc: &str, t: &str| {
+            edges
+                .iter()
+                .any(|e| e.from_table == f && e.from_col == fc && e.to_table == t)
+        };
+        assert!(has("movie_companies", "company_id", "company"), "{edges:?}");
+        assert!(has("cast_info", "person_id", "person"), "{edges:?}");
+    }
+
+    #[test]
+    fn synthesized_queries_execute_and_mostly_return_rows() {
+        let db = flights::generate(Scale::Tiny, 1);
+        let w = synthesize_workload(&db, 20, 7);
+        assert_eq!(w.len(), 20);
+        let mut nonempty = 0;
+        for (q, _) in w.iter() {
+            let r = db.execute(q).expect("synthesized query must be valid");
+            if !r.rows.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty >= 10, "nonempty = {nonempty}/20");
+    }
+
+    #[test]
+    fn synthesis_deterministic() {
+        let db = imdb::generate(Scale::Tiny, 2);
+        let a = synthesize_workload(&db, 10, 3);
+        let b = synthesize_workload(&db, 10, 3);
+        let sa: Vec<String> = a.queries.iter().map(|q| q.to_sql()).collect();
+        let sb: Vec<String> = b.queries.iter().map(|q| q.to_sql()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn empty_database_yields_empty_workload() {
+        let db = Database::new();
+        let w = synthesize_workload(&db, 5, 1);
+        assert!(w.is_empty());
+    }
+}

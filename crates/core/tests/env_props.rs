@@ -1,0 +1,134 @@
+//! Property tests on the ASQP environments and coverage tracker: budget
+//! compliance, mask validity, reward/score consistency under arbitrary
+//! action sequences.
+
+use asqp_core::{preprocess, AsqpEnv, CoverageTracker, EnvConfig, EnvKind, PreprocessConfig};
+use asqp_data::{imdb, Scale};
+use asqp_rl::Environment;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn space() -> Arc<asqp_core::ActionSpace> {
+    let db = imdb::generate(Scale::Tiny, 1);
+    let w = imdb::workload(12, 1);
+    let cfg = PreprocessConfig {
+        n_representatives: 6,
+        max_actions: 64,
+        per_query_cap: 30,
+        ..PreprocessConfig::default()
+    };
+    Arc::new(preprocess(&db, &w, &cfg).unwrap().action_space)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Walking any valid action sequence in any environment kind never
+    /// exceeds the budget, never offers an invalid mask, and terminates.
+    #[test]
+    fn random_walk_respects_invariants(
+        seed in 0u64..500,
+        kind_sel in 0usize..3,
+        k in 10usize..60,
+    ) {
+        let kind = [EnvKind::Gsl, EnvKind::Drp, EnvKind::DrpGsl][kind_sel];
+        let mut env = AsqpEnv::new(space(), EnvConfig {
+            kind,
+            k,
+            batch_size: 4,
+            drp_pairs: 6,
+            seed,
+            ..EnvConfig::default()
+        });
+        let mut state = env.reset();
+        prop_assert_eq!(state.len(), env.state_dim());
+        let mut rng_pick = seed;
+        for step in 0..500 {
+            let mask = env.valid_actions();
+            let valid: Vec<usize> =
+                (0..mask.len()).filter(|&a| mask[a]).collect();
+            if valid.is_empty() {
+                break;
+            }
+            // Deterministic pseudo-random pick.
+            rng_pick = rng_pick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = valid[(rng_pick >> 33) as usize % valid.len()];
+            let t = env.step(a);
+            state = t.state;
+            prop_assert!(t.reward.is_finite());
+            prop_assert!(state.len() == env.state_dim());
+            if t.done {
+                break;
+            }
+            prop_assert!(step < 499, "episode must terminate");
+        }
+    }
+
+    /// Apply/retract on the tracker is an exact inverse for any sequence,
+    /// and the incremental score always matches a fresh recomputation.
+    #[test]
+    fn tracker_apply_retract_roundtrip(actions in prop::collection::vec(0usize..40, 1..20)) {
+        let sp = space();
+        let n = sp.len();
+        let mut t = CoverageTracker::new(Arc::clone(&sp));
+        t.set_full_batch();
+        let mut applied: Vec<usize> = Vec::new();
+        let mut running = 0.0f64;
+        for &a in &actions {
+            let a = a % n;
+            let (d, _) = t.apply(a, 1);
+            running += d;
+            applied.push(a);
+            prop_assert!((t.score() - running).abs() < 1e-9,
+                "incremental {} vs tracked {}", t.score(), running);
+        }
+        // Retract everything in reverse: back to zero.
+        for &a in applied.iter().rev() {
+            t.apply(a, -1);
+        }
+        prop_assert!(t.score().abs() < 1e-9);
+        prop_assert_eq!(t.distinct_selected(), 0);
+    }
+
+    /// novel_tuples decreases monotonically as overlapping actions land.
+    #[test]
+    fn novel_tuples_monotone(first in 0usize..40, second in 0usize..40) {
+        let sp = space();
+        let n = sp.len();
+        let (first, second) = (first % n, second % n);
+        let mut t = CoverageTracker::new(Arc::clone(&sp));
+        t.set_full_batch();
+        let before = t.novel_tuples(second);
+        t.apply(first, 1);
+        let after = t.novel_tuples(second);
+        prop_assert!(after <= before);
+        if first == second {
+            prop_assert_eq!(after, 0);
+        }
+    }
+}
+
+#[test]
+fn greedy_rollout_stays_within_budget_and_is_deterministic() {
+    use asqp_rl::ActorCritic;
+    use rand::SeedableRng;
+    let sp = space();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let policy = ActorCritic::new(sp.len() + 2, sp.len() + 1, &[16], &mut rng);
+    let cfg = EnvConfig {
+        kind: EnvKind::Gsl,
+        k: 40,
+        seed: 2,
+        ..EnvConfig::default()
+    };
+    let mut env1 = AsqpEnv::new(Arc::clone(&sp), cfg.clone());
+    let chosen1 = env1.greedy_rollout(&policy, None);
+    let mut env2 = AsqpEnv::new(Arc::clone(&sp), cfg);
+    let chosen2 = env2.greedy_rollout(&policy, None);
+    assert_eq!(chosen1, chosen2, "greedy rollout must be deterministic");
+
+    let sel = sp.materialize_selection(&chosen1);
+    let total: usize = sel.values().map(Vec::len).sum();
+    assert!(total <= 40, "rollout exceeded budget: {total}");
+    assert!(total > 0);
+}

@@ -1,0 +1,182 @@
+//! Shared utilities for dataset generation: scale presets, word pools and
+//! skewed samplers.
+
+use rand::{Rng, RngExt as _};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Dataset scale presets. Paper-scale data (tens of millions of tuples) is
+/// possible but the default experiment scale keeps the full pipeline —
+/// training included — in CI-friendly territory while preserving the
+/// full-DB ≫ approximation-set size ratio that drives the results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~2K tuples total — unit tests.
+    Tiny,
+    /// ~40K tuples total — integration tests and quick examples.
+    Small,
+    /// ~300K tuples total — the default experiment scale.
+    Medium,
+    /// Custom multiplier over `Tiny` (1 = Tiny, 20 ≈ Small, 150 ≈ Medium).
+    Factor(u32),
+}
+
+impl Scale {
+    /// Multiplier applied to base table sizes.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 20,
+            Scale::Medium => 150,
+            Scale::Factor(f) => f.max(1) as usize,
+        }
+    }
+}
+
+thread_local! {
+    /// Cached cumulative Zipf weights keyed by (n, bits-of-s). Generators
+    /// sample the same few (n, s) pairs millions of times, so inverse-CDF
+    /// with a cached table beats per-sample rejection.
+    static ZIPF_CDF: RefCell<HashMap<(usize, u64), Vec<f64>>> = RefCell::new(HashMap::new());
+}
+
+/// Sample an index in `[0, n)` with Zipfian skew `s` (popular head values).
+/// Weight of rank `k` (1-based) is `1 / k^s`.
+pub fn zipf_index(n: usize, s: f64, rng: &mut impl Rng) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let u: f64 = rng.random_range(0.0..1.0);
+    ZIPF_CDF.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let cdf = cache.entry((n, s.to_bits())).or_insert_with(|| {
+            let mut acc = 0.0;
+            let mut v: Vec<f64> = (1..=n)
+                .map(|k| {
+                    acc += (k as f64).powf(-s);
+                    acc
+                })
+                .collect();
+            let total = acc;
+            v.iter_mut().for_each(|x| *x /= total);
+            v
+        });
+        // Binary search for the first cumulative weight exceeding u.
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => (i + 1).min(n - 1),
+            Err(i) => i.min(n - 1),
+        }
+    })
+}
+
+/// Clamped normal sample (Box–Muller; avoids rand_distr's f32/f64 generics
+/// churn at call sites).
+pub fn normal(mean: f64, std: f64, rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic pseudo-word generator: composes syllables, so generated
+/// names tokenize into a realistic, reusable vocabulary.
+pub fn pseudo_word(rng: &mut impl Rng) -> String {
+    const ONSETS: &[&str] = &[
+        "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pr",
+        "r", "s", "st", "t", "tr", "v", "w", "z",
+    ];
+    const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+    const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "x"];
+    let syllables = rng.random_range(2..4);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        w.push_str(VOWELS[rng.random_range(0..VOWELS.len())]);
+        w.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+    }
+    w
+}
+
+/// A reusable pool of `n` pseudo-words, sampled Zipfian so some words are
+/// much more popular than others (mirroring real title/name distributions).
+#[derive(Debug, Clone)]
+pub struct WordPool {
+    words: Vec<String>,
+    skew: f64,
+}
+
+impl WordPool {
+    pub fn new(n: usize, skew: f64, rng: &mut impl Rng) -> Self {
+        let words = (0..n).map(|_| pseudo_word(rng)).collect();
+        WordPool { words, skew }
+    }
+
+    pub fn sample(&self, rng: &mut impl Rng) -> &str {
+        &self.words[zipf_index(self.words.len(), self.skew, rng)]
+    }
+
+    /// A multi-word phrase (e.g. a title).
+    pub fn phrase(&self, words: usize, rng: &mut impl Rng) -> String {
+        (0..words)
+            .map(|_| self.sample(rng).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_factors_ordered() {
+        assert!(Scale::Tiny.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Medium.factor());
+        assert_eq!(Scale::Factor(0).factor(), 1);
+        assert_eq!(Scale::Factor(7).factor(), 7);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10000 {
+            counts[zipf_index(100, 1.1, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 3, "head {} tail {}", counts[0], counts[50]);
+        assert!(counts.iter().sum::<usize>() == 10000);
+    }
+
+    #[test]
+    fn zipf_degenerate_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(zipf_index(1, 1.2, &mut rng), 0);
+        assert_eq!(zipf_index(0, 1.2, &mut rng), 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20000).map(|_| normal(10.0, 2.0, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn word_pool_deterministic_and_reusable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pool = WordPool::new(50, 1.0, &mut rng);
+        assert_eq!(pool.words().len(), 50);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let pool2 = WordPool::new(50, 1.0, &mut rng2);
+        assert_eq!(pool.words(), pool2.words());
+        let phrase = pool.phrase(3, &mut rng);
+        assert_eq!(phrase.split(' ').count(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # asqp-data — synthetic datasets and workloads for the ASQP-RL evaluation
+//!
+//! Seeded, schema-faithful stand-ins for the three corpora the paper
+//! evaluates on (DESIGN.md §2 documents the substitution):
+//!
+//! * [`imdb`] — IMDB-JOB-shaped movie data with Zipf-skewed joins and a
+//!   JOB-style SPJ workload
+//! * [`mas`] — Microsoft Academic Search-shaped researcher/publication data
+//! * [`flights`] — IDEBench-style flight-delay data with both SPJ and
+//!   **aggregate** workloads (for the §6.4 AQP comparison)
+//!
+//! All generators are deterministic in their seed and scale with
+//! [`Scale`] from tiny unit-test sizes to the full experiment scale.
+
+pub mod common;
+pub mod flights;
+pub mod imdb;
+pub mod mas;
+
+pub use common::{normal, pseudo_word, zipf_index, Scale, WordPool};

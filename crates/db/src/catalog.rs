@@ -1,0 +1,154 @@
+//! The database catalog: a set of named tables plus convenience entry points
+//! for executing queries.
+
+use crate::error::{DbError, DbResult};
+use crate::exec::{execute, execute_with_lineage, QueryOutput, ResultSet};
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::sql;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An in-memory database: named tables in deterministic (sorted) order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a table; the table's own name is the catalog key.
+    pub fn add_table(&mut self, table: Table) -> DbResult<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(DbError::Duplicate(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Create an empty table with the given schema and register it.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<&mut Table> {
+        self.add_table(Table::new(name, schema))?;
+        Ok(self.tables.get_mut(name).expect("just inserted"))
+    }
+
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Remove a table from the catalog, returning it.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of stored tuples across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Execute a query AST.
+    pub fn execute(&self, query: &Query) -> DbResult<ResultSet> {
+        execute(self, query)
+    }
+
+    /// Execute and also report, per result row, which base-table rows
+    /// produced it (the provenance ASQP-RL uses to build its action space).
+    pub fn execute_with_lineage(&self, query: &Query) -> DbResult<QueryOutput> {
+        execute_with_lineage(self, query)
+    }
+
+    /// Parse and execute SQL text.
+    pub fn sql(&self, text: &str) -> DbResult<ResultSet> {
+        let q = sql::parse(text)?;
+        self.execute(&q)
+    }
+
+    /// Build a sub-database holding only the listed row ids per table.
+    /// Tables absent from `selection` are created *empty* (schema kept), so
+    /// every query valid on `self` remains valid on the subset — this is the
+    /// approximation-set materialisation used throughout ASQP-RL.
+    pub fn subset(&self, selection: &BTreeMap<String, Vec<usize>>) -> DbResult<Database> {
+        let mut out = Database::new();
+        for (name, table) in &self.tables {
+            let sub = match selection.get(name) {
+                Some(ids) => table.subset(ids)?,
+                None => Table::new(name.clone(), table.schema().clone()),
+            };
+            out.add_table(sub)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::build(&[("id", ValueType::Int)]))
+            .unwrap();
+        for i in 0..5 {
+            t.push_row(&[Value::Int(i)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let db = db();
+        assert!(db.has_table("t"));
+        assert!(db.table("missing").is_err());
+        assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        assert!(matches!(
+            db.create_table("t", Schema::build(&[("x", ValueType::Int)])),
+            Err(DbError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn subset_keeps_missing_tables_empty() {
+        let db = db();
+        let mut sel = BTreeMap::new();
+        sel.insert("t".to_string(), vec![1usize, 3]);
+        let sub = db.subset(&sel).unwrap();
+        assert_eq!(sub.table("t").unwrap().row_count(), 2);
+
+        let empty = db.subset(&BTreeMap::new()).unwrap();
+        assert_eq!(empty.table("t").unwrap().row_count(), 0);
+        assert_eq!(empty.table("t").unwrap().schema().len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Every fallible operation in `asqp-db` returns this error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A named table was not found in the catalog.
+    UnknownTable(String),
+    /// A named column was not found in a schema.
+    UnknownColumn(String),
+    /// A column reference was ambiguous across joined tables.
+    AmbiguousColumn(String),
+    /// A value had the wrong type for the operation.
+    TypeMismatch { expected: String, found: String },
+    /// Row width or column length disagreed with the schema.
+    ShapeMismatch(String),
+    /// SQL text failed to lex or parse.
+    Parse { message: String, position: usize },
+    /// The query is structurally invalid (e.g. aggregate without group key).
+    InvalidQuery(String),
+    /// An identifier collided with an existing object.
+    Duplicate(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DbError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            DbError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            DbError::Duplicate(name) => write!(f, "duplicate object: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used across the crate.
+pub type DbResult<T> = Result<T, DbError>;

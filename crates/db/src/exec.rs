@@ -1,0 +1,693 @@
+//! Query execution: predicate pushdown, hash joins, residual filters,
+//! projection, aggregation, DISTINCT, ORDER BY and LIMIT.
+//!
+//! Intermediate join state is a vector of *row-id tuples* (one row id per
+//! bound table), never materialised rows — values are fetched lazily from the
+//! columnar storage. This keeps joins cheap and makes result **lineage**
+//! (which base rows produced each result row) fall out for free; ASQP-RL's
+//! pre-processing builds its RL action space from exactly that lineage.
+
+use crate::catalog::Database;
+use crate::error::{DbError, DbResult};
+use crate::expr::{ColRef, Expr};
+use crate::query::{Query, SelectItem, TableRef};
+use crate::table::Table;
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+mod aggregate;
+
+/// Provenance of one result row: `(binding index, base-table row id)` for
+/// every table bound in the FROM clause, in FROM order.
+pub type Lineage = Vec<usize>;
+
+/// Plain query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (qualified where the query qualified them).
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Query result plus lineage metadata.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub result: ResultSet,
+    /// Per FROM-clause binding: the table's catalog name.
+    pub binding_tables: Vec<String>,
+    /// Per result row: the base row id in each binding's table, aligned with
+    /// `binding_tables`. Empty when the query aggregates (no tuple-level
+    /// provenance exists for aggregated outputs).
+    pub lineage: Vec<Lineage>,
+}
+
+/// One table bound in the FROM clause, with its slot offset in the flat
+/// execution row layout.
+struct Binding<'a> {
+    name: String,
+    table: &'a Table,
+    offset: usize,
+}
+
+/// Flat row layout over all FROM bindings.
+struct Layout<'a> {
+    bindings: Vec<Binding<'a>>,
+    total_slots: usize,
+}
+
+impl<'a> Layout<'a> {
+    fn new(db: &'a Database, from: &[TableRef]) -> DbResult<Self> {
+        if from.is_empty() {
+            return Err(DbError::InvalidQuery("FROM clause is empty".into()));
+        }
+        let mut bindings = Vec::with_capacity(from.len());
+        let mut offset = 0;
+        for tref in from {
+            let name = tref.binding().to_string();
+            if bindings.iter().any(|b: &Binding| b.name == name) {
+                return Err(DbError::Duplicate(format!("table binding {name}")));
+            }
+            let table = db.table(&tref.table)?;
+            bindings.push(Binding {
+                name,
+                table,
+                offset,
+            });
+            offset += table.schema().len();
+        }
+        Ok(Layout {
+            bindings,
+            total_slots: offset,
+        })
+    }
+
+    /// Resolve a (possibly unqualified) column reference to a flat slot.
+    fn resolve(&self, c: &ColRef) -> DbResult<usize> {
+        match &c.table {
+            Some(t) => {
+                let b = self
+                    .bindings
+                    .iter()
+                    .find(|b| b.name == *t)
+                    .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
+                let idx = b.table.schema().require(&c.column)?;
+                Ok(b.offset + idx)
+            }
+            None => {
+                let mut hit: Option<usize> = None;
+                for b in &self.bindings {
+                    if let Some(idx) = b.table.schema().index_of(&c.column) {
+                        if hit.is_some() {
+                            return Err(DbError::AmbiguousColumn(c.column.clone()));
+                        }
+                        hit = Some(b.offset + idx);
+                    }
+                }
+                hit.ok_or_else(|| DbError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+
+    /// Which binding owns a flat slot, and the local column index.
+    fn slot_owner(&self, slot: usize) -> (usize, usize) {
+        for (i, b) in self.bindings.iter().enumerate() {
+            if slot >= b.offset && slot < b.offset + b.table.schema().len() {
+                return (i, slot - b.offset);
+            }
+        }
+        unreachable!("slot {slot} outside layout of {} slots", self.total_slots)
+    }
+
+    /// Qualified output name for a flat slot.
+    fn slot_name(&self, slot: usize) -> String {
+        let (b, c) = self.slot_owner(slot);
+        format!(
+            "{}.{}",
+            self.bindings[b].name,
+            self.bindings[b].table.schema().column(c).name
+        )
+    }
+
+    /// Fetch the value of `slot` for the intermediate row-id tuple `ids`
+    /// (ids aligned with `self.bindings`).
+    fn fetch(&self, ids: &[usize], slot: usize) -> Value {
+        let (b, c) = self.slot_owner(slot);
+        self.bindings[b].table.column(c).get(ids[b])
+    }
+}
+
+/// Slots an expression reads, mapped to the set of bindings it touches.
+fn expr_bindings(layout: &Layout, e: &Expr, slots_out: &mut Vec<usize>) -> Vec<usize> {
+    collect_slots(e, slots_out);
+    let mut bs: Vec<usize> = slots_out
+        .iter()
+        .map(|&s| layout.slot_owner(s).0)
+        .collect();
+    bs.sort_unstable();
+    bs.dedup();
+    bs
+}
+
+fn collect_slots(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Slot(s) => out.push(*s),
+        Expr::Column(_) | Expr::Literal(_) => {}
+        Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+            collect_slots(lhs, out);
+            collect_slots(rhs, out);
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_slots(a, out);
+            collect_slots(b, out);
+        }
+        Expr::Not(x) | Expr::In { expr: x, .. } | Expr::Like { expr: x, .. } => {
+            collect_slots(x, out)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_slots(expr, out);
+            collect_slots(low, out);
+            collect_slots(high, out);
+        }
+        Expr::IsNull { expr, .. } => collect_slots(expr, out),
+    }
+}
+
+/// Rewrite a bound single-binding expression so its slots are local to that
+/// binding's table (for pushdown scanning).
+fn localize(e: &Expr, offset: usize) -> Expr {
+    match e {
+        Expr::Slot(s) => Expr::Slot(s - offset),
+        Expr::Column(c) => Expr::Column(c.clone()),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: *op,
+            lhs: Box::new(localize(lhs, offset)),
+            rhs: Box::new(localize(rhs, offset)),
+        },
+        Expr::Arith { op, lhs, rhs } => Expr::Arith {
+            op: *op,
+            lhs: Box::new(localize(lhs, offset)),
+            rhs: Box::new(localize(rhs, offset)),
+        },
+        Expr::And(a, b) => Expr::And(Box::new(localize(a, offset)), Box::new(localize(b, offset))),
+        Expr::Or(a, b) => Expr::Or(Box::new(localize(a, offset)), Box::new(localize(b, offset))),
+        Expr::Not(x) => Expr::Not(Box::new(localize(x, offset))),
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } => Expr::In {
+            expr: Box::new(localize(expr, offset)),
+            list: list.clone(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(localize(expr, offset)),
+            low: Box::new(localize(low, offset)),
+            high: Box::new(localize(high, offset)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(localize(expr, offset)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(localize(expr, offset)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Scan one table, returning row ids that pass the (localized) predicate.
+fn filtered_scan(table: &Table, pred: Option<&Expr>) -> DbResult<Vec<usize>> {
+    let n = table.row_count();
+    let mut out = Vec::new();
+    match pred {
+        None => out.extend(0..n),
+        Some(p) => {
+            let ncols = table.schema().len();
+            let mut row: Row = vec![Value::Null; ncols];
+            for rid in 0..n {
+                for c in 0..ncols {
+                    row[c] = table.value(rid, c);
+                }
+                if p.matches(&row)? {
+                    out.push(rid);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Equi-join condition resolved to flat slots.
+struct BoundJoin {
+    left_slot: usize,
+    right_slot: usize,
+    left_binding: usize,
+    right_binding: usize,
+}
+
+/// Execute a query, discarding lineage.
+pub fn execute(db: &Database, query: &Query) -> DbResult<ResultSet> {
+    Ok(execute_with_lineage(db, query)?.result)
+}
+
+/// Execute a query, keeping per-row lineage for non-aggregate queries.
+pub fn execute_with_lineage(db: &Database, query: &Query) -> DbResult<QueryOutput> {
+    let layout = Layout::new(db, &query.from)?;
+    let resolve = |c: &ColRef| layout.resolve(c);
+
+    // --- Bind predicate and classify conjuncts --------------------------
+    let mut single: Vec<Vec<Expr>> = (0..layout.bindings.len()).map(|_| Vec::new()).collect();
+    let mut residual: Vec<(Expr, Vec<usize>)> = Vec::new();
+    if let Some(pred) = &query.predicate {
+        let bound = pred.bind(&resolve)?;
+        for conj in bound.split_conjuncts() {
+            let mut slots = Vec::new();
+            let bs = expr_bindings(&layout, &conj, &mut slots);
+            match bs.len() {
+                0 => residual.push((conj, bs)), // constant predicate
+                1 => single[bs[0]].push(conj),
+                _ => residual.push((conj, bs)),
+            }
+        }
+    }
+
+    // --- Bind join conditions -------------------------------------------
+    let mut joins: Vec<BoundJoin> = Vec::with_capacity(query.joins.len());
+    for j in &query.joins {
+        let ls = layout.resolve(&j.left)?;
+        let rs = layout.resolve(&j.right)?;
+        let (lb, _) = layout.slot_owner(ls);
+        let (rb, _) = layout.slot_owner(rs);
+        if lb == rb {
+            // Self-condition within one table: treat as a pushed filter.
+            let e = Expr::eq(Expr::Slot(ls), Expr::Slot(rs));
+            single[lb].push(localize(&e, layout.bindings[lb].offset));
+            continue;
+        }
+        joins.push(BoundJoin {
+            left_slot: ls,
+            right_slot: rs,
+            left_binding: lb,
+            right_binding: rb,
+        });
+    }
+
+    // --- Filtered scans (predicate pushdown) ----------------------------
+    let mut scans: Vec<Vec<usize>> = Vec::with_capacity(layout.bindings.len());
+    for (i, b) in layout.bindings.iter().enumerate() {
+        let local = Expr::conjunction(
+            single[i]
+                .iter()
+                .map(|e| localize(e, b.offset))
+                .collect::<Vec<_>>(),
+        );
+        scans.push(filtered_scan(b.table, local.as_ref())?);
+    }
+
+    // --- Join ------------------------------------------------------------
+    // Intermediate rows are row-id tuples aligned with layout.bindings;
+    // usize::MAX marks a binding not yet joined. Join order is greedy by
+    // filtered-scan size: start from the smallest scan and always extend
+    // with the smallest *connected* binding, which keeps intermediates small
+    // on the snowflake shapes the workloads use.
+    const UNSET: usize = usize::MAX;
+    let nb = layout.bindings.len();
+    let mut joined = vec![false; nb];
+    let start = (0..nb).min_by_key(|&b| scans[b].len()).unwrap_or(0);
+    let mut inter: Vec<Vec<usize>> = scans[start]
+        .iter()
+        .map(|&rid| {
+            let mut t = vec![UNSET; nb];
+            t[start] = rid;
+            t
+        })
+        .collect();
+    joined[start] = true;
+    let mut remaining_joins: Vec<BoundJoin> = joins;
+    let mut pending_residual = residual;
+
+    for _ in 1..nb {
+        // Smallest unjoined binding connected to the joined set, else the
+        // smallest unjoined binding overall (cartesian fallback).
+        let connected = |b: usize| {
+            remaining_joins.iter().any(|j| {
+                (j.left_binding == b && joined[j.right_binding])
+                    || (j.right_binding == b && joined[j.left_binding])
+            })
+        };
+        let next = (0..nb)
+            .filter(|&b| !joined[b] && connected(b))
+            .min_by_key(|&b| scans[b].len())
+            .or_else(|| {
+                (0..nb)
+                    .filter(|&b| !joined[b])
+                    .min_by_key(|&b| scans[b].len())
+            });
+        let Some(next) = next else { break };
+
+        // Conditions linking `next` to the joined set (probe side keys from
+        // the intermediate, build side keys from `next`).
+        let mut link: Vec<(usize, usize)> = Vec::new(); // (probe slot, build slot)
+        remaining_joins.retain(|j| {
+            let takes = (j.left_binding == next && joined[j.right_binding])
+                || (j.right_binding == next && joined[j.left_binding]);
+            if takes {
+                if j.left_binding == next {
+                    link.push((j.right_slot, j.left_slot));
+                } else {
+                    link.push((j.left_slot, j.right_slot));
+                }
+            }
+            !takes
+        });
+
+        let b = &layout.bindings[next];
+        if link.is_empty() {
+            // Cartesian product with the filtered scan of `next`.
+            let mut out = Vec::with_capacity(inter.len().saturating_mul(scans[next].len()));
+            for t in &inter {
+                for &rid in &scans[next] {
+                    let mut nt = t.clone();
+                    nt[next] = rid;
+                    out.push(nt);
+                }
+            }
+            inter = out;
+        } else {
+            // Hash join: build on `next`'s filtered rows.
+            let build_local: Vec<usize> = link
+                .iter()
+                .map(|&(_, bs)| layout.slot_owner(bs).1)
+                .collect();
+            let mut hash: HashMap<Vec<Value>, Vec<usize>> =
+                HashMap::with_capacity(scans[next].len());
+            for &rid in &scans[next] {
+                let key: Vec<Value> = build_local
+                    .iter()
+                    .map(|&c| b.table.column(c).get(rid))
+                    .collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL never equi-joins
+                }
+                hash.entry(key).or_default().push(rid);
+            }
+            let mut out = Vec::new();
+            for t in &inter {
+                let key: Vec<Value> = link.iter().map(|&(ps, _)| layout.fetch(t, ps)).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = hash.get(&key) {
+                    for &rid in matches {
+                        let mut nt = t.clone();
+                        nt[next] = rid;
+                        out.push(nt);
+                    }
+                }
+            }
+            inter = out;
+        }
+        joined[next] = true;
+
+        // Apply residual conjuncts that are now fully bound.
+        let ready: Vec<Expr> = {
+            let mut keep = Vec::new();
+            let mut ready = Vec::new();
+            for (e, bs) in pending_residual.drain(..) {
+                if bs.iter().all(|&bi| joined[bi]) {
+                    ready.push(e);
+                } else {
+                    keep.push((e, bs));
+                }
+            }
+            pending_residual = keep;
+            ready
+        };
+        if !ready.is_empty() {
+            let pred = Expr::conjunction(ready).expect("non-empty");
+            inter = filter_intermediate(&layout, inter, &pred)?;
+        }
+    }
+
+    // Constant/zero-binding residuals (e.g. `1 = 0`).
+    if !pending_residual.is_empty() {
+        let pred =
+            Expr::conjunction(pending_residual.into_iter().map(|(e, _)| e).collect()).unwrap();
+        inter = filter_intermediate(&layout, inter, &pred)?;
+    }
+
+    // --- Aggregate or project -------------------------------------------
+    if query.is_aggregate() {
+        let result = aggregate::aggregate(&layout, &inter, query, &resolve)?;
+        return Ok(QueryOutput {
+            result,
+            binding_tables: layout
+                .bindings
+                .iter()
+                .map(|b| b.table.name().to_string())
+                .collect(),
+            lineage: Vec::new(),
+        });
+    }
+
+    // Projection slots and output names.
+    let mut proj: Vec<usize> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Star => {
+                for s in 0..layout.total_slots {
+                    proj.push(s);
+                    names.push(layout.slot_name(s));
+                }
+            }
+            SelectItem::Column(c) => {
+                let s = layout.resolve(c)?;
+                proj.push(s);
+                names.push(c.to_string());
+            }
+            SelectItem::Aggregate(_) => unreachable!("handled above"),
+        }
+    }
+
+    // ORDER BY keys resolved to flat slots.
+    let order: Vec<(usize, bool)> = query
+        .order_by
+        .iter()
+        .map(|k| Ok((layout.resolve(&k.column)?, k.desc)))
+        .collect::<DbResult<_>>()?;
+
+    if !order.is_empty() {
+        let keys: Vec<Vec<Value>> = inter
+            .iter()
+            .map(|t| order.iter().map(|&(s, _)| layout.fetch(t, s)).collect())
+            .collect();
+        let mut idx: Vec<usize> = (0..inter.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, &(_, desc)) in order.iter().enumerate() {
+                let ord = keys[a][k].cmp(&keys[b][k]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        inter = idx.into_iter().map(|i| inter[i].clone()).collect();
+    }
+
+    // Project (+ DISTINCT + LIMIT with early exit when unordered).
+    let limit = query.limit.unwrap_or(usize::MAX);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut lineage: Vec<Lineage> = Vec::new();
+    let mut seen: HashMap<Row, ()> = HashMap::new();
+    for t in &inter {
+        if rows.len() >= limit {
+            break;
+        }
+        let row: Row = proj.iter().map(|&s| layout.fetch(t, s)).collect();
+        if query.distinct {
+            if seen.contains_key(&row) {
+                continue;
+            }
+            seen.insert(row.clone(), ());
+        }
+        rows.push(row);
+        lineage.push(t.clone());
+    }
+
+    Ok(QueryOutput {
+        result: ResultSet {
+            columns: names,
+            rows,
+        },
+        binding_tables: layout
+            .bindings
+            .iter()
+            .map(|b| b.table.name().to_string())
+            .collect(),
+        lineage,
+    })
+}
+
+fn filter_intermediate(
+    layout: &Layout,
+    inter: Vec<Vec<usize>>,
+    pred: &Expr,
+) -> DbResult<Vec<Vec<usize>>> {
+    let mut slots = Vec::new();
+    collect_slots(pred, &mut slots);
+    slots.sort_unstable();
+    slots.dedup();
+    // Evaluate against a sparse flat row holding only the needed slots.
+    let mut flat: Row = vec![Value::Null; layout.total_slots];
+    let mut out = Vec::with_capacity(inter.len());
+    for t in inter {
+        for &s in &slots {
+            flat[s] = layout.fetch(&t, s);
+        }
+        if pred.matches(&flat)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Reference executor: nested loops over full cartesian products with the
+/// complete predicate applied at the end. Exponentially slow — used only as
+/// a correctness oracle in tests and proptest properties.
+pub fn execute_nested_loop(db: &Database, query: &Query) -> DbResult<ResultSet> {
+    let layout = Layout::new(db, &query.from)?;
+    let resolve = |c: &ColRef| layout.resolve(c);
+
+    // Full predicate: WHERE plus all join conditions.
+    let mut preds: Vec<Expr> = Vec::new();
+    for j in &query.joins {
+        preds.push(Expr::eq(
+            Expr::Slot(layout.resolve(&j.left)?),
+            Expr::Slot(layout.resolve(&j.right)?),
+        ));
+    }
+    if let Some(p) = &query.predicate {
+        preds.push(p.bind(&resolve)?);
+    }
+    let pred = Expr::conjunction(preds);
+
+    // Cartesian product of all row ids.
+    let nb = layout.bindings.len();
+    let mut inter: Vec<Vec<usize>> = vec![vec![]];
+    for b in 0..nb {
+        let n = layout.bindings[b].table.row_count();
+        let mut out = Vec::with_capacity(inter.len() * n.max(1));
+        for t in &inter {
+            for rid in 0..n {
+                let mut nt = t.clone();
+                nt.push(rid);
+                out.push(nt);
+            }
+        }
+        inter = out;
+    }
+
+    let mut flat: Row = vec![Value::Null; layout.total_slots];
+    let mut kept: Vec<Vec<usize>> = Vec::new();
+    for t in inter {
+        for s in 0..layout.total_slots {
+            flat[s] = layout.fetch(&t, s);
+        }
+        let ok = match &pred {
+            Some(p) => p.matches(&flat)?,
+            None => true,
+        };
+        if ok {
+            kept.push(t);
+        }
+    }
+
+    if query.is_aggregate() {
+        return aggregate::aggregate(&layout, &kept, query, &resolve);
+    }
+
+    let mut proj: Vec<usize> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Star => {
+                for s in 0..layout.total_slots {
+                    proj.push(s);
+                    names.push(layout.slot_name(s));
+                }
+            }
+            SelectItem::Column(c) => {
+                let s = layout.resolve(c)?;
+                proj.push(s);
+                names.push(c.to_string());
+            }
+            SelectItem::Aggregate(_) => unreachable!(),
+        }
+    }
+
+    let order: Vec<(usize, bool)> = query
+        .order_by
+        .iter()
+        .map(|k| Ok((layout.resolve(&k.column)?, k.desc)))
+        .collect::<DbResult<_>>()?;
+    if !order.is_empty() {
+        kept.sort_by(|a, b| {
+            for &(s, desc) in &order {
+                let ord = layout.fetch(a, s).cmp(&layout.fetch(b, s));
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let limit = query.limit.unwrap_or(usize::MAX);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seen: HashMap<Row, ()> = HashMap::new();
+    for t in &kept {
+        if rows.len() >= limit {
+            break;
+        }
+        let row: Row = proj.iter().map(|&s| layout.fetch(t, s)).collect();
+        if query.distinct {
+            if seen.contains_key(&row) {
+                continue;
+            }
+            seen.insert(row.clone(), ());
+        }
+        rows.push(row);
+    }
+    Ok(ResultSet {
+        columns: names,
+        rows,
+    })
+}

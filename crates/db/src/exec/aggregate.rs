@@ -1,0 +1,239 @@
+//! Hash aggregation over joined row-id tuples.
+
+use super::Layout;
+use crate::error::{DbError, DbResult};
+use crate::expr::ColRef;
+use crate::query::{AggExpr, AggFunc, Query, SelectItem};
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+/// Running state for one aggregate call.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { sum: f64, any: bool, int: bool },
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                any: false,
+                int: true,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    /// Feed one input value. `v` is `None` for `COUNT(*)` (row-counting).
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggState::Count(c) => match v {
+                None => *c += 1,                    // COUNT(*)
+                Some(Value::Null) => {}             // COUNT(col) skips NULLs
+                Some(_) => *c += 1,
+            },
+            AggState::Sum { sum, any, int } => {
+                if let Some(v) = v {
+                    if let Some(f) = v.as_f64() {
+                        *sum += f;
+                        *any = true;
+                        if !matches!(v, Value::Int(_)) {
+                            *int = false;
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(v) = v {
+                    if let Some(f) = v.as_f64() {
+                        *sum += f;
+                        *count += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(*c),
+            AggState::Sum { sum, any, int } => {
+                if !*any {
+                    Value::Null // SQL: SUM over no rows is NULL
+                } else if *int && sum.fract() == 0.0 {
+                    Value::Int(*sum as i64)
+                } else {
+                    Value::Float(*sum)
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Aggregate the joined intermediate and produce the final result set.
+pub(super) fn aggregate(
+    layout: &Layout,
+    inter: &[Vec<usize>],
+    query: &Query,
+    resolve: &dyn Fn(&ColRef) -> DbResult<usize>,
+) -> DbResult<super::ResultSet> {
+    // Resolve group keys and validate plain select columns against them.
+    let group_slots: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(resolve)
+        .collect::<DbResult<_>>()?;
+
+    struct OutItem {
+        name: String,
+        kind: OutKind,
+    }
+    enum OutKind {
+        /// Index into the group-key vector.
+        Key(usize),
+        /// Index into the per-group aggregate-state vector.
+        Agg(usize),
+    }
+
+    let mut agg_specs: Vec<AggExpr> = Vec::new();
+    let mut items: Vec<OutItem> = Vec::new();
+    for sel in &query.select {
+        match sel {
+            SelectItem::Star => {
+                return Err(DbError::InvalidQuery(
+                    "SELECT * cannot be combined with aggregates".into(),
+                ))
+            }
+            SelectItem::Column(c) => {
+                let slot = resolve(c)?;
+                let key_pos = group_slots.iter().position(|&g| g == slot).ok_or_else(|| {
+                    DbError::InvalidQuery(format!("column {c} is not in GROUP BY"))
+                })?;
+                items.push(OutItem {
+                    name: c.to_string(),
+                    kind: OutKind::Key(key_pos),
+                });
+            }
+            SelectItem::Aggregate(a) => {
+                items.push(OutItem {
+                    name: a.to_string(),
+                    kind: OutKind::Agg(agg_specs.len()),
+                });
+                agg_specs.push(a.clone());
+            }
+        }
+    }
+
+    // Resolve aggregate argument slots once.
+    let agg_slots: Vec<Option<usize>> = agg_specs
+        .iter()
+        .map(|a| a.arg.as_ref().map(resolve).transpose())
+        .collect::<DbResult<_>>()?;
+
+    // Accumulate.
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for t in inter {
+        let key: Vec<Value> = group_slots.iter().map(|&s| layout.fetch(t, s)).collect();
+        let states = groups.entry(key).or_insert_with(|| {
+            agg_specs.iter().map(|a| AggState::new(a.func)).collect()
+        });
+        for (st, slot) in states.iter_mut().zip(&agg_slots) {
+            match slot {
+                Some(s) => st.update(Some(&layout.fetch(t, *s))),
+                None => st.update(None),
+            }
+        }
+    }
+
+    // Global aggregate over an empty input still yields one row.
+    if groups.is_empty() && group_slots.is_empty() {
+        groups.insert(
+            Vec::new(),
+            agg_specs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+
+    // Emit rows (deterministic order: sort by group key).
+    let mut keyed: Vec<(Vec<Value>, Vec<AggState>)> = groups.into_iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut rows: Vec<Row> = keyed
+        .iter()
+        .map(|(key, states)| {
+            items
+                .iter()
+                .map(|it| match &it.kind {
+                    OutKind::Key(i) => key[*i].clone(),
+                    OutKind::Agg(i) => states[*i].finish(),
+                })
+                .collect()
+        })
+        .collect();
+
+    // ORDER BY over output columns (group keys or aggregate aliases by name).
+    if !query.order_by.is_empty() {
+        let key_cols: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .map(|k| {
+                let name = k.column.to_string();
+                let pos = items
+                    .iter()
+                    .position(|it| it.name == name || it.name.ends_with(&format!(".{}", k.column.column)))
+                    .ok_or_else(|| {
+                        DbError::InvalidQuery(format!("ORDER BY {name}: not an output column"))
+                    })?;
+                Ok((pos, k.desc))
+            })
+            .collect::<DbResult<_>>()?;
+        rows.sort_by(|a, b| {
+            for &(pos, desc) in &key_cols {
+                let ord = a[pos].cmp(&b[pos]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(l) = query.limit {
+        rows.truncate(l);
+    }
+
+    Ok(super::ResultSet {
+        columns: items.into_iter().map(|i| i.name).collect(),
+        rows,
+    })
+}

@@ -1,0 +1,49 @@
+//! # asqp-db — relational substrate for ASQP-RL
+//!
+//! A small but complete in-memory relational engine:
+//!
+//! * columnar storage with dictionary-encoded strings ([`Table`], [`Column`])
+//! * a SQL subset (SPJ + aggregates) with a text parser ([`sql::parse`]) and
+//!   canonical printer ([`Query::to_sql`])
+//! * an executor with predicate pushdown and hash joins
+//!   ([`Database::execute`]), including per-row **lineage**
+//!   ([`Database::execute_with_lineage`]) mapping result rows back to base
+//!   rows — the hook ASQP-RL's pre-processing uses to build its action space
+//! * table/column statistics ([`TableStats`]) feeding workload synthesis and
+//!   sampling baselines
+//! * sub-database materialisation ([`Database::subset`]) used to evaluate
+//!   approximation sets
+//!
+//! The engine favours clarity and determinism over raw speed, but joins are
+//! hash-based and intermediates are row-id tuples, so the scale used in the
+//! experiments (10⁵–10⁶ tuples) executes comfortably.
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod sql_stmt;
+pub mod stats;
+pub mod table;
+pub mod value;
+pub mod workload;
+
+pub use catalog::Database;
+pub use column::{Column, ColumnData};
+pub use error::{DbError, DbResult};
+pub use exec::{execute_nested_loop, Lineage, QueryOutput, ResultSet};
+pub use explain::explain;
+pub use expr::{ArithOp, CmpOp, ColRef, Expr};
+pub use query::{AggExpr, AggFunc, JoinCond, OrderKey, Query, QueryBuilder, SelectItem, TableRef};
+pub use schema::{ColumnDef, Schema};
+pub use sql_stmt::{execute_statement, parse_statement, Statement, StatementResult};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use workload::Workload;
+pub use value::{Row, Value, ValueType};

@@ -1,0 +1,452 @@
+//! Query AST for the SQL subset: select–project–join queries with optional
+//! aggregation, grouping, ordering and limits.
+//!
+//! This is exactly the query class the ASQP-RL paper works with: SPJ
+//! (non-aggregate) workloads, plus aggregate queries that the system rewrites
+//! into SPJ form for training ([`Query::strip_aggregates`]).
+
+use crate::expr::{ColRef, Expr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A table in the FROM clause, optionally aliased.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn new(table: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// Name this table binds in the query's namespace.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// An equi-join condition `left = right` between two bound tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinCond {
+    pub left: ColRef,
+    pub right: ColRef,
+}
+
+impl JoinCond {
+    pub fn new(left: ColRef, right: ColRef) -> Self {
+        JoinCond { left, right }
+    }
+}
+
+impl fmt::Display for JoinCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+/// Aggregate functions of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One aggregate call, e.g. `SUM(f.dep_delay)` or `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// `None` means `COUNT(*)`.
+    pub arg: Option<ColRef>,
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(c) => write!(f, "{}({c})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// A SELECT-list item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*` — every column of every bound table, in binding order.
+    Star,
+    Column(ColRef),
+    Aggregate(AggExpr),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// ORDER BY key: a column plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderKey {
+    pub column: ColRef,
+    pub desc: bool,
+}
+
+/// A query in the supported subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub distinct: bool,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<JoinCond>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// `SELECT * FROM table`.
+    pub fn scan(table: impl Into<String>) -> Query {
+        Query {
+            select: vec![SelectItem::Star],
+            distinct: false,
+            from: vec![TableRef::new(table)],
+            joins: Vec::new(),
+            predicate: None,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Does the select list contain any aggregate?
+    pub fn is_aggregate(&self) -> bool {
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Aggregate(_)))
+    }
+
+    /// Table names referenced in FROM (deduplicated, in order).
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.from {
+            if !out.contains(&t.table.as_str()) {
+                out.push(&t.table);
+            }
+        }
+        out
+    }
+
+    /// The paper's aggregate→SPJ rewrite (Section 3, "Aggregate Queries"):
+    /// drop aggregate and GROUP BY operators, projecting the group keys and
+    /// the aggregate arguments instead, so the query can join the SPJ
+    /// training workload. Non-aggregate queries are returned unchanged.
+    pub fn strip_aggregates(&self) -> Query {
+        if !self.is_aggregate() {
+            return self.clone();
+        }
+        let mut select: Vec<SelectItem> = Vec::new();
+        let push_col = |select: &mut Vec<SelectItem>, c: &ColRef| {
+            let item = SelectItem::Column(c.clone());
+            if !select.contains(&item) {
+                select.push(item);
+            }
+        };
+        for g in &self.group_by {
+            push_col(&mut select, g);
+        }
+        for item in &self.select {
+            match item {
+                SelectItem::Aggregate(AggExpr { arg: Some(c), .. }) => push_col(&mut select, c),
+                SelectItem::Column(c) => push_col(&mut select, c),
+                _ => {}
+            }
+        }
+        if select.is_empty() {
+            // COUNT(*) with no group keys: keep everything.
+            select.push(SelectItem::Star);
+        }
+        Query {
+            select,
+            distinct: false,
+            from: self.from.clone(),
+            joins: self.joins.clone(),
+            predicate: self.predicate.clone(),
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// A canonical text form, also valid input for the SQL parser.
+    pub fn to_sql(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        let mut where_parts: Vec<String> = self.joins.iter().map(|j| j.to_string()).collect();
+        if let Some(p) = &self.predicate {
+            where_parts.push(p.to_string());
+        }
+        if !where_parts.is_empty() {
+            write!(f, " WHERE {}", where_parts.join(" AND "))?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.column, if o.desc { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Default, Debug, Clone)]
+pub struct QueryBuilder {
+    select: Vec<SelectItem>,
+    distinct: bool,
+    from: Vec<TableRef>,
+    joins: Vec<JoinCond>,
+    predicate: Option<Expr>,
+    group_by: Vec<ColRef>,
+    order_by: Vec<OrderKey>,
+    limit: Option<usize>,
+}
+
+impl QueryBuilder {
+    pub fn select_star(mut self) -> Self {
+        self.select.push(SelectItem::Star);
+        self
+    }
+
+    pub fn select_col(mut self, table: &str, column: &str) -> Self {
+        self.select
+            .push(SelectItem::Column(ColRef::new(table, column)));
+        self
+    }
+
+    pub fn select_agg(mut self, func: AggFunc, arg: Option<ColRef>) -> Self {
+        self.select.push(SelectItem::Aggregate(AggExpr { func, arg }));
+        self
+    }
+
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    pub fn from(mut self, table: &str) -> Self {
+        self.from.push(TableRef::new(table));
+        self
+    }
+
+    pub fn from_as(mut self, table: &str, alias: &str) -> Self {
+        self.from.push(TableRef::aliased(table, alias));
+        self
+    }
+
+    pub fn join_on(mut self, lt: &str, lc: &str, rt: &str, rc: &str) -> Self {
+        self.joins
+            .push(JoinCond::new(ColRef::new(lt, lc), ColRef::new(rt, rc)));
+        self
+    }
+
+    pub fn filter(mut self, pred: Expr) -> Self {
+        self.predicate = Some(match self.predicate {
+            Some(p) => Expr::and(p, pred),
+            None => pred,
+        });
+        self
+    }
+
+    pub fn group_by(mut self, table: &str, column: &str) -> Self {
+        self.group_by.push(ColRef::new(table, column));
+        self
+    }
+
+    pub fn order_by(mut self, table: &str, column: &str, desc: bool) -> Self {
+        self.order_by.push(OrderKey {
+            column: ColRef::new(table, column),
+            desc,
+        });
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    pub fn build(mut self) -> Query {
+        if self.select.is_empty() {
+            self.select.push(SelectItem::Star);
+        }
+        Query {
+            select: self.select,
+            distinct: self.distinct,
+            from: self.from,
+            joins: self.joins,
+            predicate: self.predicate,
+            group_by: self.group_by,
+            order_by: self.order_by,
+            limit: self.limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn display_spj() {
+        let q = Query::builder()
+            .select_col("m", "title")
+            .from_as("movies", "m")
+            .from_as("cast_info", "c")
+            .join_on("m", "id", "c", "movie_id")
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col("m", "year"), Expr::lit(2000)))
+            .limit(10)
+            .build();
+        assert_eq!(
+            q.to_sql(),
+            "SELECT m.title FROM movies AS m, cast_info AS c \
+             WHERE m.id = c.movie_id AND m.year > 2000 LIMIT 10"
+        );
+        assert!(!q.is_aggregate());
+    }
+
+    #[test]
+    fn strip_aggregates_projects_keys_and_args() {
+        let q = Query::builder()
+            .select_agg(AggFunc::Avg, Some(ColRef::new("f", "dep_delay")))
+            .from_as("flights", "f")
+            .group_by("f", "carrier")
+            .build();
+        assert!(q.is_aggregate());
+        let spj = q.strip_aggregates();
+        assert!(!spj.is_aggregate());
+        assert_eq!(
+            spj.select,
+            vec![
+                SelectItem::Column(ColRef::new("f", "carrier")),
+                SelectItem::Column(ColRef::new("f", "dep_delay")),
+            ]
+        );
+        assert!(spj.group_by.is_empty());
+        assert!(spj.limit.is_none());
+    }
+
+    #[test]
+    fn strip_count_star_keeps_star() {
+        let q = Query::builder()
+            .select_agg(AggFunc::Count, None)
+            .from("movies")
+            .build();
+        let spj = q.strip_aggregates();
+        assert_eq!(spj.select, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn non_aggregate_strip_is_identity() {
+        let q = Query::scan("movies");
+        assert_eq!(q.strip_aggregates(), q);
+    }
+
+    #[test]
+    fn referenced_tables_dedup() {
+        let q = Query::builder()
+            .select_star()
+            .from_as("t", "a")
+            .from_as("t", "b")
+            .from("u")
+            .build();
+        assert_eq!(q.referenced_tables(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        assert_eq!(TableRef::aliased("movies", "m").binding(), "m");
+        assert_eq!(TableRef::new("movies").binding(), "movies");
+    }
+}

@@ -1,0 +1,182 @@
+//! Table schemas: named, typed, nullable columns.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ValueType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Does `v` conform to this column's type and nullability?
+    pub fn admits(&self, v: &Value) -> bool {
+        match v {
+            Value::Null => self.nullable,
+            other => {
+                let vt = other.value_type().expect("non-null value has a type");
+                // Ints are accepted into FLOAT columns (widening).
+                vt == self.ty || (vt == ValueType::Int && self.ty == ValueType::Float)
+            }
+        }
+    }
+}
+
+/// An ordered list of column definitions belonging to one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> DbResult<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DbError::Duplicate(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Builder-style constructor used pervasively in tests and generators.
+    pub fn build(cols: &[(&str, ValueType)]) -> Self {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    pub fn require(&self, name: &str) -> DbResult<usize> {
+        self.index_of(name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Validate a full row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> DbResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !c.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    expected: format!("{} ({})", c.ty, c.name),
+                    found: v
+                        .value_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "NULL".to_string()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let cols = vec![
+            ColumnDef::new("a", ValueType::Int),
+            ColumnDef::new("a", ValueType::Str),
+        ];
+        assert!(matches!(Schema::new(cols), Err(DbError::Duplicate(_))));
+    }
+
+    #[test]
+    fn check_row_types() {
+        let s = Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)]);
+        assert!(s.check_row(&[Value::Int(1), Value::Str("x".into())]).is_ok());
+        assert!(s.check_row(&[Value::Str("x".into()), Value::Int(1)]).is_err());
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let s = Schema::new(vec![ColumnDef::new("id", ValueType::Int).not_null()]).unwrap();
+        assert!(s.check_row(&[Value::Null]).is_err());
+        assert!(s.check_row(&[Value::Int(0)]).is_ok());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let s = Schema::build(&[("x", ValueType::Float)]);
+        assert!(s.check_row(&[Value::Int(3)]).is_ok());
+    }
+
+    #[test]
+    fn lookup() {
+        let s = Schema::build(&[("a", ValueType::Int), ("b", ValueType::Bool)]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert!(s.require("c").is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_round() {
+        let s = Schema::new(vec![ColumnDef::new("id", ValueType::Int).not_null()]).unwrap();
+        assert_eq!(s.to_string(), "(id INT NOT NULL)");
+    }
+}

@@ -1,0 +1,220 @@
+//! Table and column statistics.
+//!
+//! ASQP-RL's *unknown workload* mode (paper §4.5) synthesises queries from
+//! "statistical information collected from the tables, such as the mean and
+//! standard deviation of numerical columns, a sampled set of categorical
+//! columns (with repetition to account for popularity)". This module
+//! computes exactly that, plus histograms used by the QuickR-style baseline.
+
+use crate::table::Table;
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of most-frequent values retained per column.
+pub const TOP_K: usize = 16;
+/// Equi-width histogram bucket count for numeric columns.
+pub const HIST_BUCKETS: usize = 20;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStats {
+    pub name: String,
+    pub ty: ValueType,
+    pub null_count: usize,
+    pub distinct: usize,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Numeric mean/std (None for non-numeric columns or all-null).
+    pub mean: Option<f64>,
+    pub std: Option<f64>,
+    /// Most frequent values with their counts, descending.
+    pub top_values: Vec<(Value, usize)>,
+    /// Equi-width histogram over `[min, max]` for numeric columns.
+    pub histogram: Vec<usize>,
+}
+
+impl ColumnStats {
+    /// Fraction of non-null rows falling in `[lo, hi]`, estimated from the
+    /// histogram (numeric columns only).
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        let (Some(minv), Some(maxv)) = (&self.min, &self.max) else {
+            return 0.0;
+        };
+        let (Some(minf), Some(maxf)) = (minv.as_f64(), maxv.as_f64()) else {
+            return 0.0;
+        };
+        let total: usize = self.histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        if maxf <= minf {
+            return if lo <= minf && minf <= hi { 1.0 } else { 0.0 };
+        }
+        let width = (maxf - minf) / self.histogram.len() as f64;
+        let mut hits = 0.0;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            let b_lo = minf + i as f64 * width;
+            let b_hi = b_lo + width;
+            let overlap = (hi.min(b_hi) - lo.max(b_lo)).max(0.0);
+            if overlap > 0.0 {
+                hits += c as f64 * (overlap / width).min(1.0);
+            }
+        }
+        (hits / total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    pub table: String,
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute statistics with a single pass per column.
+    pub fn compute(table: &Table) -> TableStats {
+        let n = table.row_count();
+        let mut columns = Vec::with_capacity(table.schema().len());
+        for (ci, cdef) in table.schema().columns().iter().enumerate() {
+            let col = table.column(ci);
+            let mut null_count = 0usize;
+            let mut counts: HashMap<Value, usize> = HashMap::new();
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            let mut numeric_n = 0usize;
+            for rid in 0..n {
+                let v = col.get(rid);
+                if v.is_null() {
+                    null_count += 1;
+                    continue;
+                }
+                if min.as_ref().is_none_or(|m| v < *m) {
+                    min = Some(v.clone());
+                }
+                if max.as_ref().is_none_or(|m| v > *m) {
+                    max = Some(v.clone());
+                }
+                if let Some(f) = v.as_f64() {
+                    sum += f;
+                    sum_sq += f * f;
+                    numeric_n += 1;
+                }
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            let distinct = counts.len();
+            let mut top: Vec<(Value, usize)> = counts.into_iter().collect();
+            top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            top.truncate(TOP_K);
+
+            let (mean, std) = if numeric_n > 0 {
+                let m = sum / numeric_n as f64;
+                let var = (sum_sq / numeric_n as f64 - m * m).max(0.0);
+                (Some(m), Some(var.sqrt()))
+            } else {
+                (None, None)
+            };
+
+            // Histogram (second cheap pass, numeric only).
+            let mut histogram = vec![0usize; 0];
+            if numeric_n > 0 {
+                let minf = min.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+                let maxf = max.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+                histogram = vec![0usize; HIST_BUCKETS];
+                let width = ((maxf - minf) / HIST_BUCKETS as f64).max(f64::MIN_POSITIVE);
+                for rid in 0..n {
+                    if let Some(f) = col.get_f64(rid) {
+                        let b = (((f - minf) / width) as usize).min(HIST_BUCKETS - 1);
+                        histogram[b] += 1;
+                    }
+                }
+            }
+
+            columns.push(ColumnStats {
+                name: cdef.name.clone(),
+                ty: cdef.ty,
+                null_count,
+                distinct,
+                min,
+                max,
+                mean,
+                std,
+                top_values: top,
+                histogram,
+            });
+        }
+        TableStats {
+            table: table.name().to_string(),
+            row_count: n,
+            columns,
+        }
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::build(&[("x", ValueType::Int), ("s", ValueType::Str)]),
+        );
+        for i in 0..100 {
+            let s = if i % 10 == 0 { "common" } else { "rare" };
+            let x = if i == 50 { Value::Null } else { Value::Int(i) };
+            t.push_row(&[x, Value::Str(s.into())]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = TableStats::compute(&table());
+        assert_eq!(s.row_count, 100);
+        let x = s.column("x").unwrap();
+        assert_eq!(x.null_count, 1);
+        assert_eq!(x.distinct, 99);
+        assert_eq!(x.min, Some(Value::Int(0)));
+        assert_eq!(x.max, Some(Value::Int(99)));
+        let mean = x.mean.unwrap();
+        assert!((mean - (4950.0 - 50.0) / 99.0).abs() < 1e-9);
+
+        let str_col = s.column("s").unwrap();
+        assert_eq!(str_col.distinct, 2);
+        assert_eq!(str_col.top_values[0].0, Value::Str("rare".into()));
+        assert_eq!(str_col.top_values[0].1, 90);
+        assert!(str_col.mean.is_none());
+        assert!(str_col.histogram.is_empty());
+    }
+
+    #[test]
+    fn range_selectivity_sane() {
+        let s = TableStats::compute(&table());
+        let x = s.column("x").unwrap();
+        let all = x.range_selectivity(0.0, 99.0);
+        assert!((all - 1.0).abs() < 1e-9, "full range covers everything: {all}");
+        let half = x.range_selectivity(0.0, 49.0);
+        assert!(half > 0.3 && half < 0.7, "half range ~ half: {half}");
+        assert_eq!(x.range_selectivity(1000.0, 2000.0), 0.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("e", Schema::build(&[("x", ValueType::Int)]));
+        let s = TableStats::compute(&t);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert!(s.columns[0].min.is_none());
+        assert!(s.columns[0].mean.is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! A named, schema-checked, columnar table.
+
+use crate::column::Column;
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+use serde::{Deserialize, Serialize};
+
+/// In-memory table: one [`Column`] per schema column, all equal length.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.ty))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, cap: usize) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::with_capacity(c.ty, cap))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn column_by_name(&self, name: &str) -> DbResult<&Column> {
+        let idx = self.schema.require(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Append a row after validating it against the schema.
+    pub fn push_row(&mut self, row: &[Value]) -> DbResult<()> {
+        self.schema.check_row(row)?;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v)?;
+        }
+        self.row_count += 1;
+        Ok(())
+    }
+
+    /// Bulk load; fails on the first bad row (rows before it stay loaded).
+    pub fn extend_rows<'a, I: IntoIterator<Item = &'a [Value]>>(&mut self, rows: I) -> DbResult<()> {
+        for r in rows {
+            self.push_row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Materialise a full row.
+    pub fn row(&self, idx: usize) -> Row {
+        self.columns.iter().map(|c| c.get(idx)).collect()
+    }
+
+    /// Materialise a projection of a row.
+    pub fn row_projected(&self, idx: usize, cols: &[usize]) -> Row {
+        cols.iter().map(|&c| self.columns[c].get(idx)).collect()
+    }
+
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Build a new table containing only `row_ids` (in the given order).
+    /// This is how approximation-set sub-databases are materialised.
+    pub fn subset(&self, row_ids: &[usize]) -> DbResult<Table> {
+        let mut t = Table::with_capacity(self.name.clone(), self.schema.clone(), row_ids.len());
+        for &rid in row_ids {
+            if rid >= self.row_count {
+                return Err(DbError::ShapeMismatch(format!(
+                    "row id {rid} out of range for table {} ({} rows)",
+                    self.name, self.row_count
+                )));
+            }
+            let row = self.row(rid);
+            t.push_row(&row)?;
+        }
+        Ok(t)
+    }
+
+    /// Iterate row indices (mostly for readability at call sites).
+    pub fn row_ids(&self) -> std::ops::Range<usize> {
+        0..self.row_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn movies() -> Table {
+        let schema = Schema::build(&[
+            ("id", ValueType::Int),
+            ("title", ValueType::Str),
+            ("year", ValueType::Int),
+        ]);
+        let mut t = Table::new("movies", schema);
+        t.push_row(&[Value::Int(1), "Alien".into(), Value::Int(1979)])
+            .unwrap();
+        t.push_row(&[Value::Int(2), "Arrival".into(), Value::Int(2016)])
+            .unwrap();
+        t.push_row(&[Value::Int(3), Value::Null, Value::Int(2020)])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read() {
+        let t = movies();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.value(0, 1), Value::Str("Alien".into()));
+        assert_eq!(t.row(2), vec![Value::Int(3), Value::Null, Value::Int(2020)]);
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = movies();
+        let err = t.push_row(&[Value::Str("oops".into()), Value::Null, Value::Null]);
+        assert!(err.is_err());
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn subset_preserves_order_and_content() {
+        let t = movies();
+        let s = t.subset(&[2, 0]).unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.value(0, 0), Value::Int(3));
+        assert_eq!(s.value(1, 0), Value::Int(1));
+        assert_eq!(s.name(), "movies");
+    }
+
+    #[test]
+    fn subset_out_of_range() {
+        let t = movies();
+        assert!(t.subset(&[99]).is_err());
+    }
+
+    #[test]
+    fn row_projected() {
+        let t = movies();
+        assert_eq!(
+            t.row_projected(1, &[2, 0]),
+            vec![Value::Int(2016), Value::Int(2)]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Weighted query workloads — the `Q`, `w` of the ANAQP problem statement.
+
+use crate::query::Query;
+use rand::{Rng, RngExt as _};
+use serde::{Deserialize, Serialize};
+
+/// A set of queries with normalised weights (`Σ w = 1`, paper §3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    pub queries: Vec<Query>,
+    pub weights: Vec<f64>,
+}
+
+impl Workload {
+    /// Uniform weights.
+    pub fn uniform(queries: Vec<Query>) -> Self {
+        let n = queries.len().max(1);
+        let w = 1.0 / n as f64;
+        let weights = vec![w; queries.len()];
+        Workload { queries, weights }
+    }
+
+    /// Explicit weights, renormalised to sum to 1.
+    pub fn weighted(queries: Vec<Query>, weights: Vec<f64>) -> Self {
+        assert_eq!(queries.len(), weights.len(), "weight per query required");
+        let mut w = Workload { queries, weights };
+        w.normalize();
+        w
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    pub fn normalize(&mut self) {
+        let sum: f64 = self.weights.iter().sum();
+        if sum > 0.0 {
+            self.weights.iter_mut().for_each(|w| *w /= sum);
+        } else if !self.weights.is_empty() {
+            let u = 1.0 / self.weights.len() as f64;
+            self.weights.iter_mut().for_each(|w| *w = u);
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Query, f64)> {
+        self.queries.iter().zip(self.weights.iter().copied())
+    }
+
+    /// Shuffle and split into (train, test) with `train_frac` of queries in
+    /// the training part; both halves are renormalised. Deterministic in
+    /// `rng`.
+    pub fn split(&self, train_frac: f64, rng: &mut impl Rng) -> (Workload, Workload) {
+        let n = self.queries.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let cut = ((n as f64) * train_frac.clamp(0.0, 1.0)).round() as usize;
+        let take = |idx: &[usize]| {
+            Workload::weighted(
+                idx.iter().map(|&i| self.queries[i].clone()).collect(),
+                idx.iter().map(|&i| self.weights[i]).collect(),
+            )
+        };
+        (take(&order[..cut]), take(&order[cut..]))
+    }
+
+    /// Keep the first `frac` of queries (by index), renormalised — used by
+    /// ASQP-Light's reduced training workload.
+    pub fn truncate_frac(&self, frac: f64) -> Workload {
+        let keep = ((self.len() as f64) * frac.clamp(0.0, 1.0)).ceil() as usize;
+        Workload::weighted(
+            self.queries[..keep.min(self.len())].to_vec(),
+            self.weights[..keep.min(self.len())].to_vec(),
+        )
+    }
+
+    /// Concatenate two workloads, renormalising weights.
+    pub fn merge(&self, other: &Workload) -> Workload {
+        let mut queries = self.queries.clone();
+        queries.extend(other.queries.clone());
+        let mut weights = self.weights.clone();
+        weights.extend(other.weights.clone());
+        Workload::weighted(queries, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n).map(|i| Query::scan(format!("t{i}"))).collect()
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let w = Workload::uniform(queries(4));
+        assert!((w.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(w.weights[0], 0.25);
+    }
+
+    #[test]
+    fn weighted_renormalises() {
+        let w = Workload::weighted(queries(2), vec![2.0, 6.0]);
+        assert!((w.weights[0] - 0.25).abs() < 1e-12);
+        assert!((w.weights[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let w = Workload::uniform(queries(10));
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, test) = w.split(0.7, &mut rng);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert!((train.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((test.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut all: Vec<String> = train
+            .queries
+            .iter()
+            .chain(&test.queries)
+            .map(|q| q.to_sql())
+            .collect();
+        all.sort();
+        let mut expected: Vec<String> = queries(10).iter().map(|q| q.to_sql()).collect();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn truncate_frac_keeps_prefix() {
+        let w = Workload::uniform(queries(10));
+        let t = w.truncate_frac(0.25);
+        assert_eq!(t.len(), 3); // ceil(2.5)
+        assert!((t.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = Workload::uniform(queries(2));
+        let b = Workload::uniform(queries(3));
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 5);
+        assert!((m.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let w = Workload::weighted(queries(2), vec![0.0, 0.0]);
+        assert_eq!(w.weights, vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Executor integration tests: hash-join pipeline vs the nested-loop oracle,
+//! lineage correctness, aggregates, ordering and limits.
+
+use asqp_db::{
+    execute_nested_loop, CmpOp, Database, Expr, Query, Schema, Value, ValueType,
+};
+
+/// A small movie database with referential structure.
+fn movie_db() -> Database {
+    let mut db = Database::new();
+    let movies = db
+        .create_table(
+            "movies",
+            Schema::build(&[
+                ("id", ValueType::Int),
+                ("title", ValueType::Str),
+                ("year", ValueType::Int),
+                ("rating", ValueType::Float),
+            ]),
+        )
+        .unwrap();
+    let data: Vec<(i64, &str, i64, f64)> = vec![
+        (1, "Alien", 1979, 8.5),
+        (2, "Aliens", 1986, 8.4),
+        (3, "Arrival", 2016, 7.9),
+        (4, "Blade Runner", 1982, 8.1),
+        (5, "Dune", 2021, 8.0),
+        (6, "Her", 2013, 8.0),
+    ];
+    for (id, title, year, rating) in data {
+        movies
+            .push_row(&[
+                Value::Int(id),
+                title.into(),
+                Value::Int(year),
+                Value::Float(rating),
+            ])
+            .unwrap();
+    }
+    let cast = db
+        .create_table(
+            "cast_info",
+            Schema::build(&[
+                ("movie_id", ValueType::Int),
+                ("person", ValueType::Str),
+                ("role", ValueType::Str),
+            ]),
+        )
+        .unwrap();
+    let cdata: Vec<(i64, &str, &str)> = vec![
+        (1, "Weaver", "actor"),
+        (2, "Weaver", "actor"),
+        (3, "Adams", "actor"),
+        (4, "Ford", "actor"),
+        (4, "Young", "actor"),
+        (5, "Chalamet", "actor"),
+        (99, "Ghost", "actor"), // dangling FK: never joins
+    ];
+    for (mid, person, role) in cdata {
+        cast.push_row(&[Value::Int(mid), person.into(), role.into()])
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn filter_scan_matches_oracle() {
+    let db = movie_db();
+    let q = asqp_db::sql::parse("SELECT m.title FROM movies m WHERE m.year > 2000").unwrap();
+    let fast = db.execute(&q).unwrap();
+    let slow = execute_nested_loop(&db, &q).unwrap();
+    assert_eq!(fast.rows.len(), 3);
+    let mut a = fast.rows.clone();
+    let mut b = slow.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hash_join_matches_oracle() {
+    let db = movie_db();
+    let q = asqp_db::sql::parse(
+        "SELECT m.title, c.person FROM movies m, cast_info c \
+         WHERE m.id = c.movie_id AND m.rating >= 8.0",
+    )
+    .unwrap();
+    let fast = db.execute(&q).unwrap();
+    let slow = execute_nested_loop(&db, &q).unwrap();
+    let mut a = fast.rows.clone();
+    let mut b = slow.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    // Weaver x2, Ford, Young, Chalamet (Dune 8.0), Her has no cast.
+    assert_eq!(fast.rows.len(), 5);
+}
+
+#[test]
+fn dangling_foreign_key_never_joins() {
+    let db = movie_db();
+    let q = asqp_db::sql::parse(
+        "SELECT c.person FROM cast_info c JOIN movies m ON c.movie_id = m.id",
+    )
+    .unwrap();
+    let r = db.execute(&q).unwrap();
+    assert!(r.rows.iter().all(|row| row[0] != Value::Str("Ghost".into())));
+}
+
+#[test]
+fn lineage_identifies_base_rows() {
+    let db = movie_db();
+    let q = asqp_db::sql::parse(
+        "SELECT m.title, c.person FROM movies m, cast_info c WHERE m.id = c.movie_id",
+    )
+    .unwrap();
+    let out = db.execute_with_lineage(&q).unwrap();
+    assert_eq!(out.binding_tables, vec!["movies", "cast_info"]);
+    assert_eq!(out.lineage.len(), out.result.rows.len());
+    // Check every lineage entry reproduces its result row.
+    let movies = db.table("movies").unwrap();
+    let cast = db.table("cast_info").unwrap();
+    for (row, lin) in out.result.rows.iter().zip(&out.lineage) {
+        let title = movies.value(lin[0], 1);
+        let person = cast.value(lin[1], 1);
+        assert_eq!(row[0], title);
+        assert_eq!(row[1], person);
+    }
+}
+
+#[test]
+fn subset_execution_returns_subset_of_full_result() {
+    let db = movie_db();
+    let mut sel = std::collections::BTreeMap::new();
+    sel.insert("movies".to_string(), vec![0usize, 2, 4]);
+    sel.insert("cast_info".to_string(), vec![0usize, 2, 5]);
+    let sub = db.subset(&sel).unwrap();
+    let q = asqp_db::sql::parse(
+        "SELECT m.title, c.person FROM movies m, cast_info c WHERE m.id = c.movie_id",
+    )
+    .unwrap();
+    let full: std::collections::BTreeSet<_> =
+        db.execute(&q).unwrap().rows.into_iter().collect();
+    let part = sub.execute(&q).unwrap().rows;
+    assert!(!part.is_empty());
+    for row in &part {
+        assert!(full.contains(row), "subset produced a row not in the full answer");
+    }
+}
+
+#[test]
+fn aggregates_with_group_by() {
+    let db = movie_db();
+    let q = asqp_db::sql::parse(
+        "SELECT c.person, COUNT(*) FROM cast_info c JOIN movies m ON c.movie_id = m.id \
+         GROUP BY c.person ORDER BY c.person",
+    )
+    .unwrap();
+    let r = db.execute(&q).unwrap();
+    let weaver = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::Str("Weaver".into()))
+        .unwrap();
+    assert_eq!(weaver[1], Value::Int(2));
+    // Sorted by person ascending.
+    let names: Vec<_> = r.rows.iter().map(|r| r[0].clone()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn global_aggregates() {
+    let db = movie_db();
+    let r = db
+        .sql("SELECT COUNT(*), AVG(m.rating), MIN(m.year), MAX(m.year), SUM(m.id) FROM movies m")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(6));
+    let avg = r.rows[0][1].as_f64().unwrap();
+    assert!((avg - 8.15).abs() < 1e-9);
+    assert_eq!(r.rows[0][2], Value::Int(1979));
+    assert_eq!(r.rows[0][3], Value::Int(2021));
+    assert_eq!(r.rows[0][4], Value::Int(21));
+}
+
+#[test]
+fn global_aggregate_over_empty_input() {
+    let db = movie_db();
+    let r = db
+        .sql("SELECT COUNT(*), SUM(m.id), AVG(m.rating) FROM movies m WHERE m.year > 3000")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert_eq!(r.rows[0][1], Value::Null);
+    assert_eq!(r.rows[0][2], Value::Null);
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let db = movie_db();
+    let r = db
+        .sql("SELECT m.title FROM movies m ORDER BY m.rating DESC, m.title LIMIT 2")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![
+            vec![Value::Str("Alien".into())],
+            vec![Value::Str("Aliens".into())]
+        ]
+    );
+}
+
+#[test]
+fn distinct_dedups() {
+    let db = movie_db();
+    let r = db.sql("SELECT DISTINCT c.role FROM cast_info c").unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn cartesian_product_when_no_join_condition() {
+    let db = movie_db();
+    let r = db
+        .sql("SELECT m.id, c.person FROM movies m, cast_info c LIMIT 1000")
+        .unwrap();
+    assert_eq!(r.rows.len(), 6 * 7);
+}
+
+#[test]
+fn three_way_join() {
+    let mut db = movie_db();
+    let genres = db
+        .create_table(
+            "genres",
+            Schema::build(&[("movie_id", ValueType::Int), ("genre", ValueType::Str)]),
+        )
+        .unwrap();
+    for (mid, g) in [(1i64, "scifi"), (2, "scifi"), (3, "scifi"), (6, "drama")] {
+        genres.push_row(&[Value::Int(mid), g.into()]).unwrap();
+    }
+    let q = asqp_db::sql::parse(
+        "SELECT m.title, c.person, g.genre FROM movies m, cast_info c, genres g \
+         WHERE m.id = c.movie_id AND m.id = g.movie_id AND g.genre = 'scifi'",
+    )
+    .unwrap();
+    let fast = db.execute(&q).unwrap();
+    let slow = execute_nested_loop(&db, &q).unwrap();
+    let mut a = fast.rows.clone();
+    let mut b = slow.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(fast.rows.len(), 3); // Alien, Aliens, Arrival each one cast row
+}
+
+#[test]
+fn residual_cross_table_predicate() {
+    let db = movie_db();
+    // Non-equi cross-table condition must be applied as a residual filter.
+    let q = Query::builder()
+        .select_col("m", "title")
+        .select_col("c", "person")
+        .from_as("movies", "m")
+        .from_as("cast_info", "c")
+        .join_on("m", "id", "c", "movie_id")
+        .filter(Expr::cmp(
+            CmpOp::Lt,
+            Expr::col("m", "year"),
+            Expr::lit(1985),
+        ))
+        .build();
+    let fast = db.execute(&q).unwrap();
+    let slow = execute_nested_loop(&db, &q).unwrap();
+    let mut a = fast.rows.clone();
+    let mut b = slow.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn null_join_keys_do_not_match() {
+    let mut db = Database::new();
+    let l = db
+        .create_table("l", Schema::build(&[("k", ValueType::Int)]))
+        .unwrap();
+    l.push_row(&[Value::Null]).unwrap();
+    l.push_row(&[Value::Int(1)]).unwrap();
+    let r = db
+        .create_table("r", Schema::build(&[("k", ValueType::Int)]))
+        .unwrap();
+    r.push_row(&[Value::Null]).unwrap();
+    r.push_row(&[Value::Int(1)]).unwrap();
+    let res = db
+        .sql("SELECT * FROM l, r WHERE l.k = r.k")
+        .unwrap();
+    assert_eq!(res.rows.len(), 1, "NULL = NULL must not join");
+}
+
+#[test]
+fn ambiguous_bare_column_errors() {
+    let db = movie_db();
+    // `movie_id` exists only in cast_info → fine unqualified.
+    assert!(db.sql("SELECT * FROM movies, cast_info WHERE movie_id = 1").is_ok());
+    // `id` is unique too; but a column present in both tables must error.
+    let mut db2 = Database::new();
+    db2.create_table("a", Schema::build(&[("x", ValueType::Int)]))
+        .unwrap();
+    db2.create_table("b", Schema::build(&[("x", ValueType::Int)]))
+        .unwrap();
+    assert!(db2.sql("SELECT * FROM a, b WHERE x = 1").is_err());
+}
+
+#[test]
+fn select_star_output_columns_qualified() {
+    let db = movie_db();
+    let r = db.sql("SELECT * FROM movies m LIMIT 1").unwrap();
+    assert_eq!(r.columns, vec!["m.id", "m.title", "m.year", "m.rating"]);
+}
+
+#[test]
+fn aggregate_after_strip_runs_as_spj() {
+    let db = movie_db();
+    let agg = asqp_db::sql::parse(
+        "SELECT m.year, COUNT(*) FROM movies m GROUP BY m.year",
+    )
+    .unwrap();
+    let spj = agg.strip_aggregates();
+    let r = db.execute(&spj).unwrap();
+    assert_eq!(r.rows.len(), 6); // one per movie: projected year only
+    assert_eq!(r.columns, vec!["m.year"]);
+}
+
+#[test]
+fn like_and_in_execution() {
+    let db = movie_db();
+    let r = db
+        .sql("SELECT m.title FROM movies m WHERE m.title LIKE 'Ali%'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let r = db
+        .sql("SELECT m.title FROM movies m WHERE m.year IN (1979, 2021)")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn sum_int_stays_int_avg_is_float() {
+    let db = movie_db();
+    let r = db.sql("SELECT SUM(m.year) FROM movies m").unwrap();
+    assert!(matches!(r.rows[0][0], Value::Int(_)));
+    let r = db.sql("SELECT AVG(m.year) FROM movies m").unwrap();
+    assert!(matches!(r.rows[0][0], Value::Float(_)));
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Build a small random two-table database and a random SPJ query; the
+    /// hash-join pipeline and the nested-loop oracle must agree.
+    fn arb_db(rows_a: Vec<(i64, i64)>, rows_b: Vec<(i64, i64)>) -> Database {
+        let mut db = Database::new();
+        let a = db
+            .create_table(
+                "a",
+                Schema::build(&[("id", ValueType::Int), ("v", ValueType::Int)]),
+            )
+            .unwrap();
+        for (id, v) in rows_a {
+            a.push_row(&[Value::Int(id), Value::Int(v)]).unwrap();
+        }
+        let b = db
+            .create_table(
+                "b",
+                Schema::build(&[("fk", ValueType::Int), ("w", ValueType::Int)]),
+            )
+            .unwrap();
+        for (fk, w) in rows_b {
+            b.push_row(&[Value::Int(fk), Value::Int(w)]).unwrap();
+        }
+        db
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn join_agrees_with_oracle(
+            rows_a in prop::collection::vec((0i64..8, 0i64..20), 0..12),
+            rows_b in prop::collection::vec((0i64..8, 0i64..20), 0..12),
+            threshold in 0i64..20,
+        ) {
+            let db = arb_db(rows_a, rows_b);
+            let q = Query::builder()
+                .select_col("a", "id").select_col("b", "w")
+                .from("a").from("b")
+                .join_on("a", "id", "b", "fk")
+                .filter(Expr::cmp(CmpOp::Ge, Expr::col("a", "v"), Expr::lit(threshold)))
+                .build();
+            let mut fast = db.execute(&q).unwrap().rows;
+            let mut slow = execute_nested_loop(&db, &q).unwrap().rows;
+            fast.sort();
+            slow.sort();
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn distinct_never_repeats(
+            rows_a in prop::collection::vec((0i64..4, 0i64..4), 0..20),
+        ) {
+            let db = arb_db(rows_a, vec![]);
+            let r = db.sql("SELECT DISTINCT a.id FROM a").unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for row in &r.rows {
+                prop_assert!(seen.insert(row.clone()));
+            }
+        }
+
+        #[test]
+        fn limit_respected(
+            rows_a in prop::collection::vec((0i64..100, 0i64..100), 0..30),
+            limit in 0usize..10,
+        ) {
+            let db = arb_db(rows_a.clone(), vec![]);
+            let q = Query::builder().select_star().from("a").limit(limit).build();
+            let r = db.execute(&q).unwrap();
+            prop_assert_eq!(r.rows.len(), limit.min(rows_a.len()));
+        }
+
+        #[test]
+        fn count_star_equals_row_count(
+            rows_a in prop::collection::vec((0i64..50, 0i64..50), 0..30),
+        ) {
+            let db = arb_db(rows_a.clone(), vec![]);
+            let r = db.sql("SELECT COUNT(*) FROM a").unwrap();
+            prop_assert_eq!(r.rows[0][0].clone(), Value::Int(rows_a.len() as i64));
+        }
+
+        #[test]
+        fn parser_roundtrip_on_generated_queries(
+            threshold in -100i64..100,
+            limit in proptest::option::of(0usize..50),
+            desc in any::<bool>(),
+        ) {
+            let mut b = Query::builder()
+                .select_col("a", "id")
+                .from_as("a", "x")
+                .filter(Expr::cmp(CmpOp::Le, Expr::col("x", "v"), Expr::lit(threshold)))
+                .order_by("x", "id", desc);
+            if let Some(l) = limit { b = b.limit(l); }
+            let q = b.build();
+            let reparsed = asqp_db::sql::parse(&q.to_sql()).unwrap();
+            prop_assert_eq!(q, reparsed);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Clustering over embedding vectors: k-means (query-representative
+//! selection, drift clustering) and k-medoids (the QRD baseline).
+
+use crate::embedder::sq_dist;
+use rand::{Rng, RngExt as _};
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Cluster centres (means for k-means, medoid vectors for k-medoids).
+    pub centroids: Vec<Vec<f32>>,
+    /// For k-medoids: the index of each medoid in the input set.
+    pub medoid_indices: Vec<usize>,
+    /// Sum of squared distances to assigned centres.
+    pub inertia: f32,
+}
+
+impl Clustering {
+    /// The input index closest to each centroid (useful to pick one
+    /// *representative* per cluster from the original points).
+    pub fn representatives(&self, points: &[Vec<f32>]) -> Vec<usize> {
+        if !self.medoid_indices.is_empty() {
+            return self.medoid_indices.clone();
+        }
+        self.centroids
+            .iter()
+            .map(|c| {
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for (i, p) in points.iter().enumerate() {
+                    let d = sq_dist(p, c);
+                    if d < best_d {
+                        best = i;
+                        best_d = d;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Lloyd's k-means with k-means++ seeding. Deterministic in `rng`.
+/// `k` is clamped to the number of points; empty input yields no clusters.
+pub fn kmeans(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut impl Rng) -> Clustering {
+    let n = points.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            centroids: Vec::new(),
+            medoid_indices: Vec::new(),
+            inertia: 0.0,
+        };
+    }
+    let dim = points[0].len();
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    let mut dists: Vec<f32> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f32 = dists.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut u = rng.random_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if u < d {
+                    pick = i;
+                    break;
+                }
+                u -= d;
+            }
+            pick
+        };
+        centroids.push(points[idx].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = sq_dist(p, c);
+                if d < best_d {
+                    best = ci;
+                    best_d = d;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids; empty clusters re-seed on the farthest point.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for ci in 0..k {
+            if counts[ci] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(&points[a], &centroids[assignment[a]])
+                            .partial_cmp(&sq_dist(&points[b], &centroids[assignment[b]]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                centroids[ci] = points[far].clone();
+            } else {
+                for (c, s) in centroids[ci].iter_mut().zip(&sums[ci]) {
+                    *c = s / counts[ci] as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignment[i]]))
+        .sum();
+    Clustering {
+        assignment,
+        centroids,
+        medoid_indices: Vec::new(),
+        inertia,
+    }
+}
+
+/// k-medoids via alternating assignment / medoid update (Voronoi iteration)
+/// — the "select the medoids of clusters, then re-assign" algorithm the QRD
+/// baseline uses (Liu & Jagadish, VLDB 2009).
+pub fn kmedoids(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut impl Rng) -> Clustering {
+    let n = points.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Clustering {
+            assignment: Vec::new(),
+            centroids: Vec::new(),
+            medoid_indices: Vec::new(),
+            inertia: 0.0,
+        };
+    }
+
+    // Random distinct initial medoids.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    while medoids.len() < k {
+        let c = rng.random_range(0..n);
+        if !medoids.contains(&c) {
+            medoids.push(c);
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..max_iters {
+        // Assign to nearest medoid.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (mi, &m) in medoids.iter().enumerate() {
+                let d = sq_dist(p, &points[m]);
+                if d < best_d {
+                    best = mi;
+                    best_d = d;
+                }
+            }
+            assignment[i] = best;
+        }
+        // Update each medoid to the in-cluster point minimising total distance.
+        let mut changed = false;
+        for mi in 0..k {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == mi).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = medoids[mi];
+            let mut best_cost = f32::INFINITY;
+            for &cand in &members {
+                let cost: f32 = members
+                    .iter()
+                    .map(|&m| sq_dist(&points[cand], &points[m]))
+                    .sum();
+                if cost < best_cost {
+                    best = cand;
+                    best_cost = cost;
+                }
+            }
+            if best != medoids[mi] {
+                medoids[mi] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &points[medoids[assignment[i]]]))
+        .sum();
+    Clustering {
+        assignment,
+        centroids: medoids.iter().map(|&m| points[m].clone()).collect(),
+        medoid_indices: medoids,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            pts.push(vec![1.0 + jitter, 1.0 - jitter]);
+            pts.push(vec![-1.0 - jitter, -1.0 + jitter]);
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = kmeans(&pts, 2, 50, &mut rng);
+        // Points at even indices are blob A, odd are blob B.
+        let a0 = c.assignment[0];
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(c.assignment[i], a0);
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_ne!(c.assignment[i], a0);
+        }
+        assert!(c.inertia < 0.1);
+    }
+
+    #[test]
+    fn kmedoids_picks_input_points() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = kmedoids(&pts, 2, 50, &mut rng);
+        assert_eq!(c.medoid_indices.len(), 2);
+        for (&m, cvec) in c.medoid_indices.iter().zip(&c.centroids) {
+            assert_eq!(&pts[m], cvec);
+        }
+        let reps = c.representatives(&pts);
+        assert_eq!(reps, c.medoid_indices);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0f32], vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = kmeans(&pts, 10, 10, &mut rng);
+        assert_eq!(c.centroids.len(), 2);
+        let c2 = kmedoids(&pts, 10, 10, &mut rng);
+        assert_eq!(c2.medoid_indices.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = kmeans(&[], 3, 10, &mut rng);
+        assert!(c.centroids.is_empty());
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    fn representatives_close_to_centroids() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = kmeans(&pts, 2, 50, &mut rng);
+        let reps = c.representatives(&pts);
+        assert_eq!(reps.len(), 2);
+        for (ri, &rep) in reps.iter().enumerate() {
+            assert!(sq_dist(&pts[rep], &c.centroids[ri]) < 0.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, 2, 50, &mut StdRng::seed_from_u64(7));
+        let b = kmeans(&pts, 2, 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

@@ -1,0 +1,90 @@
+//! Tokenisation of SQL text and tuple values into embedding tokens.
+
+/// Lowercase and split on non-alphanumeric boundaries, dropping empties.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Bucket a numeric value into a coarse magnitude token, so numerically
+/// close literals produce the same token (range similarity for queries like
+/// `year > 1994` vs `year > 1996`).
+pub fn numeric_bucket(v: f64) -> String {
+    if !v.is_finite() {
+        return "num:nan".to_string();
+    }
+    if v == 0.0 {
+        return "num:0".to_string();
+    }
+    let sign = if v < 0.0 { "-" } else { "" };
+    let a = v.abs();
+    let exp = a.log10().floor() as i32;
+    // Two buckets per decade: mantissa below/above ~3.16.
+    let half = if a / 10f64.powi(exp) >= 3.1622776601683795 {
+        "b"
+    } else {
+        "a"
+    };
+    format!("num:{sign}{exp}{half}")
+}
+
+/// N-gram expansion (bigrams of adjacent tokens) gives mild phrase
+/// sensitivity without a learned model.
+pub fn with_bigrams(tokens: &[String]) -> Vec<String> {
+    let mut out = tokens.to_vec();
+    for w in tokens.windows(2) {
+        out.push(format!("{}+{}", w[0], w[1]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_sql() {
+        let t = tokenize("SELECT m.title FROM movies WHERE m.year > 2000");
+        assert_eq!(
+            t,
+            vec!["select", "m", "title", "from", "movies", "where", "m", "year", "2000"]
+        );
+    }
+
+    #[test]
+    fn tokenize_handles_unicode_and_underscores() {
+        assert_eq!(tokenize("cast_info Ärger"), vec!["cast_info", "ärger"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn numeric_buckets_group_close_values() {
+        assert_eq!(numeric_bucket(1994.0), numeric_bucket(1996.0));
+        assert_ne!(numeric_bucket(1994.0), numeric_bucket(200.0));
+        assert_ne!(numeric_bucket(5.0), numeric_bucket(-5.0));
+        assert_eq!(numeric_bucket(0.0), "num:0");
+        assert_eq!(numeric_bucket(f64::NAN), "num:nan");
+        // 2 and 9 share a decade but not a half-decade bucket.
+        assert_ne!(numeric_bucket(2.0), numeric_bucket(9.0));
+    }
+
+    #[test]
+    fn bigrams_appended() {
+        let toks: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let bg = with_bigrams(&toks);
+        assert!(bg.contains(&"a+b".to_string()));
+        assert!(bg.contains(&"b+c".to_string()));
+        assert_eq!(bg.len(), 5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-layer perceptrons with manual backpropagation.
+//!
+//! The paper's actor and critic are "an input layer matching the action
+//! space's size, followed by smaller fully-connected layers" (§5.1); this
+//! module provides exactly that, plus the gradients PPO needs.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Identity,
+}
+
+impl Activation {
+    fn forward(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// dL/dx given dL/dy and the *activated output* y.
+    fn backward(self, dy: &Matrix, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => dy.zip_map(y, |g, out| if out > 0.0 { g } else { 0.0 }),
+            Activation::Tanh => dy.zip_map(y, |g, out| g * (1.0 - out * out)),
+            Activation::Identity => dy.clone(),
+        }
+    }
+}
+
+/// One fully-connected layer `y = act(x W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: Matrix,
+    pub b: Matrix,
+    pub act: Activation,
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Option<Matrix>,
+    #[serde(skip)]
+    cache_x: Option<Matrix>,
+    #[serde(skip)]
+    cache_y: Option<Matrix>,
+}
+
+impl Linear {
+    pub fn new(inputs: usize, outputs: usize, act: Activation, rng: &mut impl rand::Rng) -> Self {
+        Linear {
+            w: Matrix::kaiming(inputs, outputs, rng),
+            b: Matrix::zeros(1, outputs),
+            act,
+            grad_w: None,
+            grad_b: None,
+            cache_x: None,
+            cache_y: None,
+        }
+    }
+
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.act.forward(&x.matmul(&self.w).add_row_broadcast(&self.b));
+        self.cache_x = Some(x.clone());
+        self.cache_y = Some(y.clone());
+        y
+    }
+
+    /// Inference-only forward: no caches, `&self`.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.act.forward(&x.matmul(&self.w).add_row_broadcast(&self.b))
+    }
+
+    /// Backprop: accumulate dW, db; return dX.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let y = self.cache_y.as_ref().expect("forward before backward");
+        let dz = self.act.backward(dy, y);
+        let gw = x.t_matmul(&dz);
+        let gb = dz.sum_rows();
+        match &mut self.grad_w {
+            Some(g) => *g = g.add(&gw),
+            None => self.grad_w = Some(gw),
+        }
+        match &mut self.grad_b {
+            Some(g) => *g = g.add(&gb),
+            None => self.grad_b = Some(gb),
+        }
+        dz.matmul_t(&self.w)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad_w = None;
+        self.grad_b = None;
+    }
+
+    /// (parameter, gradient) pairs; gradient slices are zeros when no
+    /// backward pass has run since the last `zero_grad`.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f32], Vec<f32>)> {
+        let gw = self
+            .grad_w
+            .as_ref()
+            .map(|g| g.data().to_vec())
+            .unwrap_or_else(|| vec![0.0; self.w.data().len()]);
+        let gb = self
+            .grad_b
+            .as_ref()
+            .map(|g| g.data().to_vec())
+            .unwrap_or_else(|| vec![0.0; self.b.data().len()]);
+        vec![(self.w.data_mut(), gw), (self.b.data_mut(), gb)]
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.w.data().len() + self.b.data().len()
+    }
+}
+
+/// A stack of [`Linear`] layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// `sizes = [in, h1, ..., out]`; hidden layers use `hidden_act`, the
+    /// output layer is linear (softmax/MSE heads live outside the MLP).
+    pub fn new(sizes: &[usize], hidden_act: Activation, rng: &mut impl rand::Rng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i + 2 == sizes.len() {
+                Activation::Identity
+            } else {
+                hidden_act
+            };
+            layers.push(Linear::new(sizes[i], sizes[i + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for l in &mut self.layers {
+            h = l.forward(&h);
+        }
+        h
+    }
+
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.infer(&h);
+        }
+        h
+    }
+
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let mut g = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    pub fn params_and_grads(&mut self) -> Vec<(&mut [f32], Vec<f32>)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .collect()
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check on a scalar loss L = sum(mlp(x)).
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&[3, 4, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+
+        // Analytic gradients: dL/dy = ones.
+        mlp.zero_grad();
+        let y = mlp.forward(&x);
+        let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        mlp.backward(&dy);
+        let analytic: Vec<Vec<f32>> = mlp
+            .params_and_grads()
+            .into_iter()
+            .map(|(_, g)| g)
+            .collect();
+
+        // Numeric gradients: central differences on cloned models.
+        let eps = 1e-3f32;
+        let loss = |m: &Mlp, x: &Matrix| -> f32 { m.infer(x).data().iter().sum() };
+        let base = mlp.clone();
+        let mut num_grads: Vec<Vec<f32>> = Vec::new();
+        for li in 0..base.layers.len() {
+            for which in 0..2 {
+                let len = if which == 0 {
+                    base.layers[li].w.data().len()
+                } else {
+                    base.layers[li].b.data().len()
+                };
+                let mut g = vec![0.0f32; len];
+                for i in 0..len {
+                    let mut plus = base.clone();
+                    let mut minus = base.clone();
+                    {
+                        let p = if which == 0 {
+                            plus.layers[li].w.data_mut()
+                        } else {
+                            plus.layers[li].b.data_mut()
+                        };
+                        p[i] += eps;
+                        let m = if which == 0 {
+                            minus.layers[li].w.data_mut()
+                        } else {
+                            minus.layers[li].b.data_mut()
+                        };
+                        m[i] -= eps;
+                    }
+                    g[i] = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+                }
+                num_grads.push(g);
+            }
+        }
+
+        for (a, n) in analytic.iter().zip(&num_grads) {
+            for (&ga, &gn) in a.iter().zip(n) {
+                assert!(
+                    (ga - gn).abs() < 2e-2,
+                    "analytic {ga} vs numeric {gn} differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_kills_negative_gradients() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(1, 1, Activation::Relu, &mut rng);
+        // Force a negative pre-activation.
+        l.w.data_mut()[0] = 1.0;
+        l.b.data_mut()[0] = -5.0;
+        let x = Matrix::from_vec(1, 1, vec![1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[0.0]);
+        let dx = l.backward(&Matrix::from_vec(1, 1, vec![1.0]));
+        assert_eq!(dx.data(), &[0.0]);
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let a = mlp.forward(&x);
+        let b = mlp.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[10, 5, 2], Activation::Relu, &mut rng);
+        assert_eq!(mlp.param_count(), 10 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp = Mlp::new(&[2, 2], Activation::Identity, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let dy = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        mlp.forward(&x);
+        mlp.backward(&dy);
+        let g1: f32 = mlp.params_and_grads()[0].1.iter().sum();
+        mlp.forward(&x);
+        mlp.backward(&dy);
+        let g2: f32 = mlp.params_and_grads()[0].1.iter().sum();
+        assert!((g2 - 2.0 * g1).abs() < 1e-5, "g1={g1} g2={g2}");
+        mlp.zero_grad();
+        let g0: f32 = mlp.params_and_grads()[0].1.iter().sum();
+        assert_eq!(g0, 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Adam optimiser with optional global-norm gradient clipping.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam (Kingma & Ba 2015) over a fixed flat parameter layout.
+///
+/// The optimiser is created lazily on the first `step`: moment buffers are
+/// sized from the gradients it sees, and the parameter layout must stay
+/// identical across steps (it always does — models never change shape).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// When set, gradients are rescaled so their global L2 norm is at most
+    /// this value (standard PPO practice).
+    pub max_grad_norm: Option<f32>,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            max_grad_norm: Some(0.5),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    pub fn with_max_grad_norm(mut self, norm: Option<f32>) -> Self {
+        self.max_grad_norm = norm;
+        self
+    }
+
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    pub fn steps_taken(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to `(param, grad)` pairs (as produced by
+    /// [`crate::Mlp::params_and_grads`]).
+    pub fn step(&mut self, mut params: Vec<(&mut [f32], Vec<f32>)>) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter layout changed");
+
+        // Global-norm clip.
+        if let Some(max) = self.max_grad_norm {
+            let norm: f32 = params
+                .iter()
+                .flat_map(|(_, g)| g.iter().map(|x| x * x))
+                .sum::<f32>()
+                .sqrt();
+            if norm > max && norm > 0.0 {
+                let s = max / norm;
+                for (_, g) in params.iter_mut() {
+                    for x in g.iter_mut() {
+                        *x *= s;
+                    }
+                }
+            }
+        }
+
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, (p, g)) in params.into_iter().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for i in 0..p.len() {
+                let gi = g[i];
+                if !gi.is_finite() {
+                    continue; // guard against exploding batches
+                }
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)^2 — Adam should converge to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.1).with_max_grad_norm(None);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(vec![(&mut x, g)]);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn grad_clipping_limits_update() {
+        let mut a = vec![0.0f32];
+        let mut opt_clip = Adam::new(0.1).with_max_grad_norm(Some(0.001));
+        opt_clip.step(vec![(&mut a, vec![1000.0])]);
+        // Clipped gradient is tiny, but Adam normalises by sqrt(v), so the
+        // step is ~lr in magnitude either way. The real check: internal
+        // moments reflect the clipped gradient, not 1000.
+        assert!(opt_clip.m[0][0].abs() <= 0.001 * (1.0 - 0.9) + 1e-6);
+    }
+
+    #[test]
+    fn non_finite_gradients_skipped() {
+        let mut x = vec![1.0f32];
+        let mut opt = Adam::new(0.1);
+        opt.step(vec![(&mut x, vec![f32::NAN])]);
+        assert_eq!(x[0], 1.0);
+        assert!(x[0].is_finite());
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.steps_taken(), 0);
+        opt.step(vec![(&mut x, vec![1.0])]);
+        opt.step(vec![(&mut x, vec![1.0])]);
+        assert_eq!(opt.steps_taken(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter layout changed")]
+    fn layout_change_panics() {
+        let mut x = vec![0.0f32];
+        let mut y = vec![0.0f32, 0.0];
+        let mut opt = Adam::new(0.01);
+        opt.step(vec![(&mut x, vec![1.0])]);
+        opt.step(vec![(&mut x, vec![1.0]), (&mut y, vec![1.0, 1.0])]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Gym-style environment interface (the paper uses OpenAI Gym; this trait is
+//! its minimal Rust equivalent, extended with action masks).
+
+/// Result of one environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation after the step.
+    pub state: Vec<f32>,
+    pub reward: f32,
+    pub done: bool,
+}
+
+/// A discrete-action environment with action masking.
+///
+/// Implementations must be deterministic given their own internal RNG state
+/// so that experiments are reproducible.
+pub trait Environment {
+    /// Size of the (fixed) discrete action space.
+    fn action_count(&self) -> usize;
+
+    /// Dimensionality of state observations.
+    fn state_dim(&self) -> usize;
+
+    /// Reset to the initial state and return the first observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Validity mask over actions for the *current* state: `mask[a]` is
+    /// `true` iff action `a` may be chosen. At least one entry must be true
+    /// unless the episode is done.
+    fn valid_actions(&self) -> Vec<bool>;
+
+    /// Apply an action. Panics if the action is invalid (callers must mask).
+    fn step(&mut self, action: usize) -> Transition;
+}
+
+/// A tiny deterministic coverage environment used by unit tests across the
+/// RL stack: `n` actions, each action covers a weighted "query"; reward is
+/// the weight the chosen action adds; episodes last `budget` steps. Optimal
+/// play selects the `budget` heaviest actions.
+#[derive(Debug, Clone)]
+pub struct ToyCoverageEnv {
+    pub weights: Vec<f32>,
+    pub budget: usize,
+    selected: Vec<bool>,
+    steps: usize,
+}
+
+impl ToyCoverageEnv {
+    pub fn new(weights: Vec<f32>, budget: usize) -> Self {
+        let n = weights.len();
+        assert!(budget <= n, "budget must not exceed the action count");
+        ToyCoverageEnv {
+            weights,
+            budget,
+            selected: vec![false; n],
+            steps: 0,
+        }
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        self.selected
+            .iter()
+            .map(|&s| if s { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+impl Environment for ToyCoverageEnv {
+    fn action_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn state_dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.selected.iter_mut().for_each(|s| *s = false);
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn valid_actions(&self) -> Vec<bool> {
+        self.selected.iter().map(|&s| !s).collect()
+    }
+
+    fn step(&mut self, action: usize) -> Transition {
+        assert!(!self.selected[action], "invalid action {action} re-selected");
+        self.selected[action] = true;
+        self.steps += 1;
+        Transition {
+            state: self.observation(),
+            reward: self.weights[action],
+            done: self.steps >= self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_env_masks_and_terminates() {
+        let mut env = ToyCoverageEnv::new(vec![1.0, 2.0, 3.0], 2);
+        let s0 = env.reset();
+        assert_eq!(s0, vec![0.0, 0.0, 0.0]);
+        assert_eq!(env.valid_actions(), vec![true, true, true]);
+        let t1 = env.step(2);
+        assert_eq!(t1.reward, 3.0);
+        assert!(!t1.done);
+        assert_eq!(env.valid_actions(), vec![true, true, false]);
+        let t2 = env.step(1);
+        assert!(t2.done);
+        assert_eq!(t2.state, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-selected")]
+    fn repeating_action_panics() {
+        let mut env = ToyCoverageEnv::new(vec![1.0, 2.0], 2);
+        env.reset();
+        env.step(0);
+        env.step(0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # asqp-rl — reinforcement learning for ASQP-RL
+//!
+//! The RL machinery the paper builds on Ray/Gym/PyTorch, re-implemented:
+//!
+//! * [`Environment`] — Gym-style trait with **action masking**
+//! * [`RolloutBuffer`] — trajectory storage + GAE(γ, λ)
+//! * [`ActorCritic`] — masked softmax policy + value head
+//! * [`Trainer`] — parallel rollout workers (crossbeam) and three update
+//!   rules selected by [`AgentKind`]: PPO-clip with KL penalty (full
+//!   ASQP-RL), A2C ("−ppo" ablation) and REINFORCE ("−ppo −ac" ablation)
+//!
+//! Everything is deterministic given `TrainerConfig::seed`.
+
+pub mod env;
+pub mod policy;
+pub mod rollout;
+pub mod trainer;
+
+pub use env::{Environment, ToyCoverageEnv, Transition};
+pub use policy::{ActionSample, ActorCritic};
+pub use rollout::{RolloutBuffer, StoredStep};
+pub use trainer::{AgentKind, IterationStats, Trainer, TrainerConfig};

@@ -1,0 +1,138 @@
+//! Masked actor–critic policy: an actor MLP producing logits over the
+//! action space and a critic MLP producing a state-value estimate
+//! (paper §5.1: "a large input layer matching the action space's size,
+//! followed by smaller fully-connected layers", softmax policy head, linear
+//! value head).
+
+use asqp_nn::{func, Activation, Matrix, Mlp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the policy returns when asked to act.
+#[derive(Debug, Clone)]
+pub struct ActionSample {
+    pub action: usize,
+    pub logprob: f32,
+    pub value: f32,
+    /// Full masked action distribution (stored for the KL penalty).
+    pub probs: Vec<f32>,
+}
+
+/// Actor + critic networks sharing the state encoding convention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActorCritic {
+    pub actor: Mlp,
+    pub critic: Mlp,
+    pub n_actions: usize,
+}
+
+impl ActorCritic {
+    /// `hidden` lists hidden-layer widths, e.g. `[256, 128]`.
+    pub fn new(state_dim: usize, n_actions: usize, hidden: &[usize], rng: &mut impl Rng) -> Self {
+        let mut actor_sizes = vec![state_dim];
+        actor_sizes.extend_from_slice(hidden);
+        actor_sizes.push(n_actions);
+        let mut critic_sizes = vec![state_dim];
+        critic_sizes.extend_from_slice(hidden);
+        critic_sizes.push(1);
+        ActorCritic {
+            actor: Mlp::new(&actor_sizes, Activation::Tanh, rng),
+            critic: Mlp::new(&critic_sizes, Activation::Tanh, rng),
+            n_actions,
+        }
+    }
+
+    /// Masked action probabilities for one state (inference, no caches).
+    pub fn action_probs(&self, state: &[f32], mask: &[bool]) -> Vec<f32> {
+        let x = Matrix::from_row(state);
+        let logits = self.actor.infer(&x);
+        let mut row = logits.row(0).to_vec();
+        func::mask_logits(&mut row, mask);
+        func::softmax_in_place(&mut row);
+        row
+    }
+
+    /// State value estimate (inference).
+    pub fn value(&self, state: &[f32]) -> f32 {
+        let x = Matrix::from_row(state);
+        self.critic.infer(&x).at(0, 0)
+    }
+
+    /// Sample an action from the masked policy.
+    pub fn act(&self, state: &[f32], mask: &[bool], rng: &mut impl Rng) -> ActionSample {
+        debug_assert!(mask.iter().any(|&m| m), "fully-masked state");
+        let probs = self.action_probs(state, mask);
+        let action = func::sample_categorical(&probs, rng);
+        ActionSample {
+            action,
+            logprob: probs[action].max(1e-20).ln(),
+            value: self.value(state),
+            probs,
+        }
+    }
+
+    /// Greedy (argmax) action — used at inference time (Algorithm 2).
+    pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
+        let probs = self.action_probs(state, mask);
+        func::argmax(&probs)
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.actor.param_count() + self.critic.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_actions_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ac = ActorCritic::new(4, 4, &[8], &mut rng);
+        let state = vec![0.0; 4];
+        let mask = vec![true, false, true, false];
+        for _ in 0..200 {
+            let s = ac.act(&state, &mask, &mut rng);
+            assert!(mask[s.action], "sampled masked action {}", s.action);
+            assert_eq!(s.probs[1], 0.0);
+            assert_eq!(s.probs[3], 0.0);
+        }
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ac = ActorCritic::new(3, 5, &[8], &mut rng);
+        let p = ac.action_probs(&[0.1, -0.2, 0.3], &[true; 5]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn greedy_matches_top_prob() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ac = ActorCritic::new(3, 4, &[8], &mut rng);
+        let state = vec![1.0, 2.0, -1.0];
+        let mask = vec![true; 4];
+        let probs = ac.action_probs(&state, &mask);
+        let greedy = ac.act_greedy(&state, &mask);
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(greedy, best);
+    }
+
+    #[test]
+    fn logprob_consistent_with_probs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ac = ActorCritic::new(2, 3, &[4], &mut rng);
+        let s = ac.act(&[0.5, 0.5], &[true, true, true], &mut rng);
+        assert!((s.logprob.exp() - s.probs[s.action]).abs() < 1e-5);
+    }
+}

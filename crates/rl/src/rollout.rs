@@ -1,0 +1,164 @@
+//! Trajectory storage and Generalised Advantage Estimation.
+
+/// One stored transition (flattened across trajectories; `done` marks
+/// episode boundaries for GAE).
+#[derive(Debug, Clone)]
+pub struct StoredStep {
+    pub state: Vec<f32>,
+    pub action: usize,
+    pub reward: f32,
+    pub done: bool,
+    /// log π_old(a|s) at collection time.
+    pub logprob: f32,
+    /// V_old(s) at collection time.
+    pub value: f32,
+    /// Action mask at collection time (needed to re-evaluate the policy).
+    pub mask: Vec<bool>,
+    /// Full π_old(·|s) (needed for the KL penalty term).
+    pub old_probs: Vec<f32>,
+}
+
+/// A batch of transitions collected under one policy snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer {
+    pub steps: Vec<StoredStep>,
+}
+
+impl RolloutBuffer {
+    pub fn new() -> Self {
+        RolloutBuffer::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub fn push(&mut self, step: StoredStep) {
+        self.steps.push(step);
+    }
+
+    pub fn extend(&mut self, other: RolloutBuffer) {
+        self.steps.extend(other.steps);
+    }
+
+    /// Total reward divided by number of episodes (monitoring).
+    pub fn mean_episode_reward(&self) -> f32 {
+        let episodes = self.steps.iter().filter(|s| s.done).count().max(1);
+        let total: f32 = self.steps.iter().map(|s| s.reward).sum();
+        total / episodes as f32
+    }
+
+    /// Compute GAE(γ, λ) advantages and discounted returns.
+    ///
+    /// Trajectories are assumed terminated (`done == true` on their last
+    /// step) — both ASQP environments have bounded episodes — so the value
+    /// bootstrap beyond a `done` is zero.
+    pub fn gae(&self, gamma: f32, lambda: f32) -> (Vec<f32>, Vec<f32>) {
+        let n = self.steps.len();
+        let mut advantages = vec![0.0f32; n];
+        let mut returns = vec![0.0f32; n];
+        let mut next_value = 0.0f32;
+        let mut next_advantage = 0.0f32;
+        for i in (0..n).rev() {
+            let s = &self.steps[i];
+            if s.done {
+                next_value = 0.0;
+                next_advantage = 0.0;
+            }
+            let delta = s.reward + gamma * next_value - s.value;
+            let adv = delta + gamma * lambda * next_advantage;
+            advantages[i] = adv;
+            returns[i] = adv + s.value;
+            next_value = s.value;
+            next_advantage = adv;
+        }
+        (advantages, returns)
+    }
+
+    /// Advantages normalised to zero mean / unit variance (PPO practice).
+    pub fn normalized_advantages(&self, gamma: f32, lambda: f32) -> (Vec<f32>, Vec<f32>) {
+        let (mut adv, ret) = self.gae(gamma, lambda);
+        let n = adv.len().max(1) as f32;
+        let mean: f32 = adv.iter().sum::<f32>() / n;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+        let std = var.sqrt().max(1e-6);
+        adv.iter_mut().for_each(|a| *a = (*a - mean) / std);
+        (adv, ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(reward: f32, value: f32, done: bool) -> StoredStep {
+        StoredStep {
+            state: vec![0.0],
+            action: 0,
+            reward,
+            done,
+            logprob: 0.0,
+            value,
+            mask: vec![true],
+            old_probs: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn gae_single_step_episode() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(step(1.0, 0.5, true));
+        let (adv, ret) = buf.gae(0.99, 0.95);
+        // delta = 1.0 + 0 - 0.5 = 0.5; adv = delta; ret = adv + value = 1.0.
+        assert!((adv[0] - 0.5).abs() < 1e-6);
+        assert!((ret[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_respects_episode_boundaries() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(step(1.0, 0.0, true)); // episode 1
+        buf.push(step(5.0, 0.0, true)); // episode 2
+        let (adv, _) = buf.gae(1.0, 1.0);
+        // No leakage: first step's advantage must not include the 5.0.
+        assert!((adv[0] - 1.0).abs() < 1e-6);
+        assert!((adv[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_discounts_future_rewards() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(step(0.0, 0.0, false));
+        buf.push(step(1.0, 0.0, true));
+        let (adv, ret) = buf.gae(0.5, 1.0);
+        // Return at t0 = 0 + 0.5 * 1.0 = 0.5.
+        assert!((ret[0] - 0.5).abs() < 1e-6);
+        assert!((adv[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_std() {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..10 {
+            buf.push(step(i as f32, 0.0, true));
+        }
+        let (adv, _) = buf.normalized_advantages(0.99, 0.95);
+        let mean: f32 = adv.iter().sum::<f32>() / adv.len() as f32;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / adv.len() as f32;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_episode_reward() {
+        let mut buf = RolloutBuffer::new();
+        buf.push(step(1.0, 0.0, false));
+        buf.push(step(2.0, 0.0, true));
+        buf.push(step(3.0, 0.0, true));
+        assert!((buf.mean_episode_reward() - 3.0).abs() < 1e-6);
+    }
+}

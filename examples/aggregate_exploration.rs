@@ -1,0 +1,74 @@
+//! Aggregate queries over the approximation set (paper §6.4): ASQP-RL is
+//! trained on SPJ rewrites of an aggregate workload, then answers the
+//! original aggregates from the subset with sampling-ratio scale-up, and we
+//! measure relative error per operator class.
+//!
+//! ```sh
+//! cargo run --release --example aggregate_exploration
+//! ```
+
+use asqp::core::{approximate_aggregate, operator_class, result_relative_error};
+use asqp::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let db = asqp::data::flights::generate(Scale::Small, 11);
+    let aggregates = asqp::data::flights::aggregate_workload(60, 11);
+    println!(
+        "FLIGHTS: {} tuples; {} aggregate queries\n",
+        db.total_rows(),
+        aggregates.len()
+    );
+
+    // Train on the SPJ rewrites (train() strips aggregates internally);
+    // 1% memory, the paper's §6.4 setting.
+    let k = db.total_rows() / 100;
+    let cfg = AsqpConfig::full(k, 50).with_seed(11);
+    let model = train(&db, &aggregates, &cfg).expect("training succeeds");
+    let subset = model.materialize(&db, None).expect("subset materialises");
+    println!(
+        "approximation set: {} tuples ({:.1}%)\n",
+        subset.total_rows(),
+        100.0 * subset.total_rows() as f64 / db.total_rows() as f64
+    );
+
+    // Answer every aggregate from the subset and bucket errors by class.
+    let mut by_class: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
+    for q in &aggregates.queries {
+        let truth = db.execute(q).expect("truth executes");
+        let approx = approximate_aggregate(&db, &subset, q).expect("approx executes");
+        let err = result_relative_error(q, &approx, &truth);
+        let slot = by_class.entry(operator_class(q)).or_insert((0.0, 0));
+        slot.0 += err;
+        slot.1 += 1;
+    }
+
+    println!("{:<8} {:>8} {:>10}", "class", "queries", "rel. error");
+    for (class, (total, n)) in &by_class {
+        println!("{:<8} {:>8} {:>10.3}", class, n, total / *n as f64);
+    }
+
+    // Show one query end to end.
+    let sample = aggregates
+        .queries
+        .iter()
+        .find(|q| !q.group_by.is_empty())
+        .expect("workload has grouped queries");
+    println!("\nexample: {sample}");
+    let truth = db.execute(sample).expect("runs");
+    let approx = approximate_aggregate(&db, &subset, sample).expect("runs");
+    println!("  truth rows: {}, approx rows: {}", truth.rows.len(), approx.rows.len());
+    for row in truth.rows.iter().take(3) {
+        let key = &row[0];
+        let t = row[1].as_f64().unwrap_or(f64::NAN);
+        let a = approx
+            .rows
+            .iter()
+            .find(|r| &r[0] == key)
+            .and_then(|r| r[1].as_f64());
+        match a {
+            Some(a) => println!("  group {key}: truth {t:.1}, approx {a:.1}"),
+            None => println!("  group {key}: truth {t:.1}, approx MISSING"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Cold start with no query workload (paper §4.5 / Fig. 6): the system
+//! synthesises a workload from table statistics, trains on it, and then
+//! iteratively folds real user queries in, fine-tuning as it goes.
+//!
+//! ```sh
+//! cargo run --release --example no_workload
+//! ```
+
+use asqp::core::synthesize_workload;
+use asqp::prelude::*;
+
+fn main() {
+    let db = asqp::data::flights::generate(Scale::Small, 5);
+    println!("FLIGHTS: {} tuples, no workload given\n", db.total_rows());
+
+    // Detected join structure drives the synthesiser.
+    let joins = asqp::core::detect_joins(&db);
+    println!("discovered join edges:");
+    for e in &joins {
+        println!("  {}.{} -> {}.{}", e.from_table, e.from_col, e.to_table, e.to_col);
+    }
+
+    // Round 0: train purely on synthesised queries.
+    let synthetic = synthesize_workload(&db, 30, 5);
+    println!("\nsynthesised {} statistics-driven queries; training...", synthetic.len());
+    let cfg = AsqpConfig::light(400, 50).with_seed(5);
+    let mut model = train(&db, &synthetic, &cfg).expect("training succeeds");
+
+    // The "user" issues 5 real queries per round; after each round the
+    // model fine-tunes on them, tracking their quality (Fig. 6's y-axis).
+    let user_queries = asqp::data::flights::workload(20, 99);
+    let params = MetricParams::new(50);
+    println!("\n{:<7} {:>14}", "round", "user-query score");
+    for round in 0..4 {
+        let seen = Workload::uniform(user_queries.queries[..(round + 1) * 5].to_vec());
+        let subset = model.materialize(&db, None).expect("materialises");
+        let s = score(&db, &subset, &seen, params).expect("scores");
+        println!("{:<7} {:>14.3}", round, s);
+
+        // Fold this round's queries in (fine-tune toward the user).
+        let new_batch = &user_queries.queries[round * 5..(round + 1) * 5];
+        model = fine_tune(&db, &model, new_batch, 0.05).expect("fine-tune succeeds");
+    }
+    let subset = model.materialize(&db, None).expect("materialises");
+    let final_score = score(&db, &subset, &user_queries, params).expect("scores");
+    println!("\nfinal score across all 20 user queries: {final_score:.3}");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train ASQP-RL on an IMDB-shaped database, materialise the
+//! approximation set, and compare answer quality and latency against the
+//! full database.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use asqp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // 1. A database and an exploratory SPJ workload. `Scale::Small` keeps
+    //    this example under a minute; crank it up to `Scale::Medium` (or
+    //    `Scale::Factor(n)`) for experiment-scale runs.
+    let db = asqp::data::imdb::generate(Scale::Small, 7);
+    let workload = asqp::data::imdb::workload(40, 7);
+    println!(
+        "database: {} tables, {} tuples; workload: {} queries",
+        db.table_names().count(),
+        db.total_rows(),
+        workload.len()
+    );
+
+    // 2. Train. k = 600 tuples (~1% of the data), frame size F = 50.
+    let cfg = AsqpConfig::full(600, 50).with_seed(7);
+    let t0 = Instant::now();
+    let model = train(&db, &workload, &cfg).expect("training succeeds");
+    println!(
+        "trained in {:.1?} ({} RL iterations, final reward {:.3})",
+        t0.elapsed(),
+        model.history.len(),
+        model.final_reward()
+    );
+
+    // 3. Materialise the approximation set.
+    let subset = model.materialize(&db, None).expect("subset materialises");
+    println!(
+        "approximation set: {} tuples ({:.2}% of the database)",
+        subset.total_rows(),
+        100.0 * subset.total_rows() as f64 / db.total_rows() as f64
+    );
+
+    // 4. Quality (Eq. 1) and latency, full DB vs approximation set.
+    let params = MetricParams::new(50);
+    let quality = score(&db, &subset, &workload, params).expect("scoring succeeds");
+    println!("workload score on the approximation set: {quality:.3}");
+
+    let sample = &workload.queries[0];
+    println!("\nexample query: {sample}");
+    let t_full = Instant::now();
+    let full_rows = db.execute(sample).expect("query runs").rows.len();
+    let t_full = t_full.elapsed();
+    let t_sub = Instant::now();
+    let sub_rows = subset.execute(sample).expect("query runs").rows.len();
+    let t_sub = t_sub.elapsed();
+    println!("  full DB:           {full_rows:>6} rows in {t_full:.1?}");
+    println!("  approximation set: {sub_rows:>6} rows in {t_sub:.1?}");
+    let speedup = t_full.as_secs_f64() / t_sub.as_secs_f64().max(1e-9);
+    println!("  speedup: {speedup:.0}x");
+}

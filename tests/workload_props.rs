@@ -1,0 +1,85 @@
+//! Property tests spanning crates: every generated / synthesised query must
+//! round-trip through the SQL parser and execute; metric invariants hold on
+//! arbitrary selections.
+
+use asqp::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every query any generator emits parses back from its SQL text.
+    #[test]
+    fn generated_queries_roundtrip_sql(seed in 0u64..500) {
+        for w in [
+            asqp::data::imdb::workload(6, seed),
+            asqp::data::mas::workload(5, seed),
+            asqp::data::flights::workload(4, seed),
+            asqp::data::flights::aggregate_workload(6, seed),
+        ] {
+            for q in &w.queries {
+                let text = q.to_sql();
+                let reparsed = asqp::db::sql::parse(&text).unwrap();
+                prop_assert_eq!(q, &reparsed, "round-trip failed for {}", text);
+            }
+        }
+    }
+
+    /// Relaxation never shrinks any generated query's result.
+    #[test]
+    fn relaxation_monotone_on_generated_queries(seed in 0u64..100) {
+        let db = asqp::data::imdb::generate(Scale::Tiny, 1);
+        let w = asqp::data::imdb::workload(6, seed);
+        for q in &w.queries {
+            let before = db.execute(q).unwrap().rows.len();
+            let relaxed = asqp::core::relax_query(q, 0.2);
+            let after = db.execute(&relaxed).unwrap().rows.len();
+            prop_assert!(after >= before, "{} shrank {} -> {}", q, before, after);
+        }
+    }
+
+    /// Eq. 1 invariants on arbitrary random selections: score ∈ [0, 1] and
+    /// adding rows never hurts.
+    #[test]
+    fn score_bounded_and_monotone(take_a in 0usize..60, extra in 1usize..40, seed in 0u64..50) {
+        let db = asqp::data::imdb::generate(Scale::Tiny, 1);
+        let w = asqp::data::imdb::workload(8, seed);
+        let params = MetricParams::new(20);
+        let title_rows = db.table("title").unwrap().row_count();
+
+        let mut sel_a = BTreeMap::new();
+        sel_a.insert("title".to_string(), (0..take_a.min(title_rows)).collect::<Vec<_>>());
+        let mut sel_b = sel_a.clone();
+        sel_b.insert(
+            "title".to_string(),
+            (0..(take_a + extra).min(title_rows)).collect::<Vec<_>>(),
+        );
+
+        let sa = score(&db, &db.subset(&sel_a).unwrap(), &w, params).unwrap();
+        let sb = score(&db, &db.subset(&sel_b).unwrap(), &w, params).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sa));
+        prop_assert!(sb >= sa - 1e-9, "superset scored lower: {} < {}", sb, sa);
+    }
+
+    /// The full database always scores exactly 1.
+    #[test]
+    fn full_database_is_perfect(seed in 0u64..100) {
+        let db = asqp::data::mas::generate(Scale::Tiny, 1);
+        let w = asqp::data::mas::workload(6, seed);
+        let s = score(&db, &db, &w, MetricParams::new(20)).unwrap();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// Synthesised (no-workload) queries are always valid SQL over the DB.
+    #[test]
+    fn synthesized_workload_always_executes(seed in 0u64..60) {
+        let db = asqp::data::flights::generate(Scale::Tiny, 1);
+        let w = asqp::core::synthesize_workload(&db, 8, seed);
+        for q in &w.queries {
+            db.execute(q).unwrap();
+            let reparsed = asqp::db::sql::parse(&q.to_sql()).unwrap();
+            prop_assert_eq!(q, &reparsed);
+        }
+    }
+}
