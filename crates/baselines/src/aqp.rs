@@ -7,7 +7,7 @@ use asqp_core::{detect_joins, MetricParams, Selection};
 use asqp_db::{Database, DbResult, Value, ValueType, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// VERD — VerdictDB-style sampling (Park et al., SIGMOD 2018): each table
 /// is stratified on its lowest-cardinality categorical column and sampled
@@ -52,7 +52,9 @@ impl Baseline for Verdict {
             let chosen: Vec<usize> = match strat_col {
                 Some((ci, _)) => {
                     // Group rows by stratum value.
-                    let mut strata: HashMap<Value, Vec<usize>> = HashMap::new();
+                    // BTreeMap: stratum order (and thus RNG consumption)
+                    // must not depend on HashMap's per-process hash seed.
+                    let mut strata: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
                     for r in 0..n {
                         strata.entry(table.value(r, ci)).or_default().push(r);
                     }
@@ -281,8 +283,18 @@ mod tests {
         let db = imdb::generate(Scale::Tiny, 1);
         let w = imdb::workload(6, 1);
         for (name, out) in [
-            ("verd", Verdict { seed: 1 }.build(&db, &w, 90, MetricParams::new(20)).unwrap()),
-            ("quik", QuickR { seed: 1 }.build(&db, &w, 90, MetricParams::new(20)).unwrap()),
+            (
+                "verd",
+                Verdict { seed: 1 }
+                    .build(&db, &w, 90, MetricParams::new(20))
+                    .unwrap(),
+            ),
+            (
+                "quik",
+                QuickR { seed: 1 }
+                    .build(&db, &w, 90, MetricParams::new(20))
+                    .unwrap(),
+            ),
         ] {
             assert!(
                 out.tuple_count() <= 95,

@@ -126,7 +126,7 @@ impl Baseline for QueryResultDiversification {
                 .iter()
                 .map(|&rid| embedder.embed_tuple(table.schema(), &table.row(rid)))
                 .collect();
-            let n_clusters = share.min(64).max(1);
+            let n_clusters = share.clamp(1, 64);
             let clustering = kmeans(&points, n_clusters, 15, &mut rng);
             // Round-robin across clusters: medoid-closest first.
             let mut per_cluster: Vec<Vec<usize>> = vec![Vec::new(); clustering.centroids.len()];
@@ -135,8 +135,14 @@ impl Baseline for QueryResultDiversification {
             }
             for members in per_cluster.iter_mut() {
                 members.sort_by(|&a, &b| {
-                    let da = asqp_embed::sq_dist(&points[a], &clustering.centroids[clustering.assignment[a]]);
-                    let db_ = asqp_embed::sq_dist(&points[b], &clustering.centroids[clustering.assignment[b]]);
+                    let da = asqp_embed::sq_dist(
+                        &points[a],
+                        &clustering.centroids[clustering.assignment[a]],
+                    );
+                    let db_ = asqp_embed::sq_dist(
+                        &points[b],
+                        &clustering.centroids[clustering.assignment[b]],
+                    );
                     da.partial_cmp(&db_).unwrap_or(std::cmp::Ordering::Equal)
                 });
             }

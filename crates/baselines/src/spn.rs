@@ -52,7 +52,11 @@ impl LeafDist {
                     .collect();
                 let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
                 let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let (min, max) = if vals.is_empty() { (0.0, 0.0) } else { (min, max) };
+                let (min, max) = if vals.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (min, max)
+                };
                 let width = ((max - min) / NUM_BINS as f64).max(f64::MIN_POSITIVE);
                 let mut counts = vec![0.0; NUM_BINS];
                 let mut sums = vec![0.0; NUM_BINS];
@@ -158,7 +162,10 @@ enum Node {
     Sum(Vec<(f64, Node)>),
     /// Children partition the column set.
     Product(Vec<Node>),
-    Leaf { col: usize, dist: LeafDist },
+    Leaf {
+        col: usize,
+        dist: LeafDist,
+    },
 }
 
 /// A learned SPN over one table.
@@ -237,37 +244,38 @@ impl Spn {
             columns.push(s.to_string());
         }
 
-        let make_row = |preds: &HashMap<usize, ColPred>, group_val: Option<&Value>| -> Option<Row> {
-            let mut row = Row::new();
-            for s in &q.select {
-                match s {
-                    SelectItem::Column(_) => row.push(group_val?.clone()),
-                    SelectItem::Aggregate(AggExpr { func, arg }) => {
-                        let target = match arg {
-                            Some(c) => Some(self.resolve(c)?),
-                            None => None,
-                        };
-                        let (p, e) = self.joint(preds, target);
-                        let count = p * self.n_rows as f64;
-                        let v = match func {
-                            AggFunc::Count => Value::Float(count.round()),
-                            AggFunc::Sum => Value::Float(e * self.n_rows as f64),
-                            AggFunc::Avg => {
-                                if p <= 0.0 {
-                                    Value::Null
-                                } else {
-                                    Value::Float(e / p)
+        let make_row =
+            |preds: &HashMap<usize, ColPred>, group_val: Option<&Value>| -> Option<Row> {
+                let mut row = Row::new();
+                for s in &q.select {
+                    match s {
+                        SelectItem::Column(_) => row.push(group_val?.clone()),
+                        SelectItem::Aggregate(AggExpr { func, arg }) => {
+                            let target = match arg {
+                                Some(c) => Some(self.resolve(c)?),
+                                None => None,
+                            };
+                            let (p, e) = self.joint(preds, target);
+                            let count = p * self.n_rows as f64;
+                            let v = match func {
+                                AggFunc::Count => Value::Float(count.round()),
+                                AggFunc::Sum => Value::Float(e * self.n_rows as f64),
+                                AggFunc::Avg => {
+                                    if p <= 0.0 {
+                                        Value::Null
+                                    } else {
+                                        Value::Float(e / p)
+                                    }
                                 }
-                            }
-                            AggFunc::Min | AggFunc::Max => return None,
-                        };
-                        row.push(v);
+                                AggFunc::Min | AggFunc::Max => return None,
+                            };
+                            row.push(v);
+                        }
+                        SelectItem::Star => return None,
                     }
-                    SelectItem::Star => return None,
                 }
-            }
-            Some(row)
-        };
+                Some(row)
+            };
 
         let mut rows: Vec<Row> = Vec::new();
         if let Some(g) = q.group_by.first() {
@@ -304,19 +312,25 @@ impl Spn {
             Expr::Cmp { op, lhs, rhs } => {
                 let (col, lit, op) = match (lhs.as_ref(), rhs.as_ref()) {
                     (Expr::Column(c), Expr::Literal(v)) => (self.resolve(c)?, v.clone(), *op),
-                    (Expr::Literal(v), Expr::Column(c)) => {
-                        (self.resolve(c)?, v.clone(), op.flip())
-                    }
+                    (Expr::Literal(v), Expr::Column(c)) => (self.resolve(c)?, v.clone(), op.flip()),
                     _ => return None,
                 };
                 match (op, lit.as_f64(), &lit) {
                     (CmpOp::Eq, _, v) => Some((col, ColPred::OneOf(vec![v.clone()]))),
-                    (CmpOp::Ge | CmpOp::Gt, Some(f), _) => {
-                        Some((col, ColPred::Range { lo: f, hi: f64::INFINITY }))
-                    }
-                    (CmpOp::Le | CmpOp::Lt, Some(f), _) => {
-                        Some((col, ColPred::Range { lo: f64::NEG_INFINITY, hi: f }))
-                    }
+                    (CmpOp::Ge | CmpOp::Gt, Some(f), _) => Some((
+                        col,
+                        ColPred::Range {
+                            lo: f,
+                            hi: f64::INFINITY,
+                        },
+                    )),
+                    (CmpOp::Le | CmpOp::Lt, Some(f), _) => Some((
+                        col,
+                        ColPred::Range {
+                            lo: f64::NEG_INFINITY,
+                            hi: f,
+                        },
+                    )),
                     _ => None,
                 }
             }
@@ -479,7 +493,11 @@ fn build(table: &Table, rows: &[usize], cols: &[usize], depth: usize) -> Node {
 /// Pearson correlation on a row sample; pairs involving categoricals use a
 /// cheap normalised-contingency proxy.
 fn correlation_groups(table: &Table, rows: &[usize], cols: &[usize]) -> Vec<Vec<usize>> {
-    let sample: Vec<usize> = rows.iter().copied().step_by((rows.len() / 512).max(1)).collect();
+    let sample: Vec<usize> = rows
+        .iter()
+        .copied()
+        .step_by((rows.len() / 512).max(1))
+        .collect();
     let m = cols.len();
     let mut parent: Vec<usize> = (0..m).collect();
     fn find(p: &mut Vec<usize>, i: usize) -> usize {
@@ -500,9 +518,9 @@ fn correlation_groups(table: &Table, rows: &[usize], cols: &[usize]) -> Vec<Vec<
         }
     }
     let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for i in 0..m {
+    for (i, &c) in cols.iter().enumerate().take(m) {
         let r = find(&mut parent, i);
-        groups.entry(r).or_default().push(cols[i]);
+        groups.entry(r).or_default().push(c);
     }
     groups.into_values().collect()
 }
@@ -650,10 +668,8 @@ mod tests {
     #[test]
     fn unsupported_shapes_return_none() {
         let (spn, _) = spn_and_db();
-        let join = parse(
-            "SELECT COUNT(*) FROM flights f JOIN carriers c ON f.carrier = c.code",
-        )
-        .unwrap();
+        let join =
+            parse("SELECT COUNT(*) FROM flights f JOIN carriers c ON f.carrier = c.code").unwrap();
         assert!(spn.estimate(&join).is_none());
         let like = parse("SELECT COUNT(*) FROM flights f WHERE f.origin LIKE 'A%'").unwrap();
         assert!(spn.estimate(&like).is_none());

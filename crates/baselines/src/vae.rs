@@ -24,7 +24,9 @@ enum ColCodec {
         max: f64,
     },
     /// One-hot over the top values (+ implicit "other" = argmax fallback).
-    Categorical { values: Vec<Value> },
+    Categorical {
+        values: Vec<Value>,
+    },
     Bool,
 }
 
@@ -83,10 +85,7 @@ impl TupleCodec {
         for (codec, v) in self.cols.iter().zip(row) {
             match codec {
                 ColCodec::Numeric { mean, std, .. } => {
-                    out[off] = v
-                        .as_f64()
-                        .map(|f| ((f - mean) / std) as f32)
-                        .unwrap_or(0.0);
+                    out[off] = v.as_f64().map(|f| ((f - mean) / std) as f32).unwrap_or(0.0);
                 }
                 ColCodec::Categorical { values } => {
                     if let Some(pos) = values.iter().position(|c| c == v) {
@@ -166,12 +165,7 @@ impl Default for GenerativeVae {
 
 impl GenerativeVae {
     /// Train on `table` and generate `count` synthetic rows.
-    fn synthesize_table(
-        &self,
-        table: &Table,
-        count: usize,
-        rng: &mut StdRng,
-    ) -> DbResult<Table> {
+    fn synthesize_table(&self, table: &Table, count: usize, rng: &mut StdRng) -> DbResult<Table> {
         let mut out = Table::with_capacity(table.name(), table.schema().clone(), count);
         let n = table.row_count();
         if n == 0 || count == 0 {

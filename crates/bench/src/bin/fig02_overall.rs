@@ -14,7 +14,10 @@ use rand::SeedableRng;
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 2 — overall comparison (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 2 — overall comparison (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let datasets: Vec<(&str, Database, Workload)> = vec![
         (
@@ -59,9 +62,13 @@ fn main() {
         };
 
         // ASQP-RL (full) and ASQP-Light.
-        let (m, _) = measure_asqp(db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
-            .expect("ASQP-RL trains");
-        println!("  ASQP-RL     score {:.3}  setup {}", m.score, fmt_secs(m.setup_secs));
+        let (m, _) =
+            measure_asqp(db, &train_w, &test_w, &counts, &cfg, "ASQP-RL").expect("ASQP-RL trains");
+        println!(
+            "  ASQP-RL     score {:.3}  setup {}",
+            m.score,
+            fmt_secs(m.setup_secs)
+        );
         push(&m, &mut table);
         all_rows.push((name.to_string(), m));
 
@@ -69,7 +76,11 @@ fn main() {
         light.preprocess.max_actions = cfg.preprocess.max_actions / 2;
         let (m, _) = measure_asqp(db, &train_w, &test_w, &counts, &light, "ASQP-Light")
             .expect("ASQP-Light trains");
-        println!("  ASQP-Light  score {:.3}  setup {}", m.score, fmt_secs(m.setup_secs));
+        println!(
+            "  ASQP-Light  score {:.3}  setup {}",
+            m.score,
+            fmt_secs(m.setup_secs)
+        );
         push(&m, &mut table);
         all_rows.push((name.to_string(), m));
 
@@ -77,7 +88,12 @@ fn main() {
         for mut b in baseline_roster(&env) {
             let m = measure_baseline(db, &train_w, &test_w, &counts, k, params, b.as_mut())
                 .expect("baseline builds");
-            println!("  {:<11} score {:.3}  setup {}", m.name, m.score, fmt_secs(m.setup_secs));
+            println!(
+                "  {:<11} score {:.3}  setup {}",
+                m.name,
+                m.score,
+                fmt_secs(m.setup_secs)
+            );
             push(&m, &mut table);
             all_rows.push((name.to_string(), m));
         }
@@ -99,7 +115,11 @@ fn main() {
             "[{name}] ASQP-RL {:.3} vs best baseline {:.3} ({})",
             asqp.1.score,
             best_other,
-            if asqp.1.score > best_other { "ASQP wins ✓" } else { "ASQP does NOT win ✗" }
+            if asqp.1.score > best_other {
+                "ASQP wins ✓"
+            } else {
+                "ASQP does NOT win ✗"
+            }
         );
     }
 }

@@ -22,7 +22,10 @@ struct AblationRow {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 3 — RL ablation (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 3 — RL ablation (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let envs = [
         (EnvKind::Gsl, "GSL"),
@@ -95,12 +98,19 @@ fn main() {
             .iter()
             .find(|r| r.environment == "GSL" && r.agent == "ASQP-RL")
             .unwrap();
-        let best = rows.iter().map(|r| r.score).fold(f64::NEG_INFINITY, f64::max);
+        let best = rows
+            .iter()
+            .map(|r| r.score)
+            .fold(f64::NEG_INFINITY, f64::max);
         println!(
             "[{dataset}] GSL/full = {:.3}, best cell = {:.3} ({})",
             full.score,
             best,
-            if (full.score - best).abs() < 1e-9 { "GSL/full on top ✓" } else { "GSL/full not on top" }
+            if (full.score - best).abs() < 1e-9 {
+                "GSL/full on top ✓"
+            } else {
+                "GSL/full not on top"
+            }
         );
     }
 }

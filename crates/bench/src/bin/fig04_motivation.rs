@@ -22,7 +22,10 @@ struct Point {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 4 — direct-query cost vs database size (seed {})", env.seed);
+    println!(
+        "Fig. 4 — direct-query cost vs database size (seed {})",
+        env.seed
+    );
 
     let base = match env.scale {
         Scale::Tiny => 1u32,
@@ -86,6 +89,10 @@ fn main() {
     println!(
         "\n8x data -> {:.1}x slower queries ({})",
         big / small.max(1e-12),
-        if big > small * 3.0 { "superlinear pain confirmed ✓" } else { "weaker than expected" }
+        if big > small * 3.0 {
+            "superlinear pain confirmed ✓"
+        } else {
+            "weaker than expected"
+        }
     );
 }

@@ -28,7 +28,10 @@ struct FallbackRow {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 5 — estimator quality (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 5 — estimator quality (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(60, env.seed);
@@ -75,8 +78,8 @@ fn main() {
     let sub = model.materialize(&db, None).expect("materialises");
     let est = AnswerabilityEstimator::fit(&model, &db, &sub, cfg.metric_params())
         .expect("estimator fits");
-    let truths = per_query_fractions(&sub, &test_w, &test_counts, cfg.metric_params())
-        .expect("fractions");
+    let truths =
+        per_query_fractions(&sub, &test_w, &test_counts, cfg.metric_params()).expect("fractions");
 
     let mut table2 = ReportTable::new(
         "Fig. 5 — DB-fallback variants",
@@ -102,7 +105,10 @@ fn main() {
         }
         let avg_score = total_score / test_w.len() as f64;
         let secs = t0.elapsed().as_secs_f64();
-        println!("  threshold {threshold:.1}: avg score {avg_score:.3}, 10 queries in {}", fmt_secs(secs));
+        println!(
+            "  threshold {threshold:.1}: avg score {avg_score:.3}, 10 queries in {}",
+            fmt_secs(secs)
+        );
         table2.row(vec![
             format!("{threshold:.1}"),
             format!("{avg_score:.3}"),

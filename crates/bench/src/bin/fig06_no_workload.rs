@@ -8,8 +8,8 @@
 //! cargo run --release -p asqp-bench --bin fig06_no_workload
 //! ```
 
-use asqp_bench::*;
 use asqp_baselines::{Baseline, QueryResultDiversification, RandomSampling};
+use asqp_bench::*;
 use asqp_core::{fine_tune, score, synthesize_workload};
 use asqp_db::Workload;
 use serde::Serialize;
@@ -24,7 +24,10 @@ struct Round {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 6 — unknown workload mode (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 6 — unknown workload mode (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::flights::generate(env.scale, env.seed);
     let k = env.default_k(&db);

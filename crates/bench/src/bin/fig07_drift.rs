@@ -25,7 +25,10 @@ struct DriftStep {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 7 — interest-drift fine-tuning (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 7 — interest-drift fine-tuning (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(60, env.seed);
@@ -33,7 +36,11 @@ fn main() {
     // Cluster the workload into three interests (paper: clustering on the
     // embedded queries so new clusters induce genuine drift).
     let embedder = Embedder::new(128);
-    let points: Vec<Vec<f32>> = workload.queries.iter().map(|q| embedder.embed_query(q)).collect();
+    let points: Vec<Vec<f32>> = workload
+        .queries
+        .iter()
+        .map(|q| embedder.embed_query(q))
+        .collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(env.seed);
     let clustering = kmeans(&points, 3, 40, &mut rng);
 
@@ -64,8 +71,8 @@ fn main() {
     let params = cfg.metric_params();
 
     // Initial model: cluster 1 only.
-    let mut model = asqp_core::train(&db, &Workload::uniform(cluster_train[0].clone()), &cfg)
-        .expect("trains");
+    let mut model =
+        asqp_core::train(&db, &Workload::uniform(cluster_train[0].clone()), &cfg).expect("trains");
 
     let mut table = ReportTable::new(
         "Fig. 7 — score on the active cluster's test queries",
@@ -137,6 +144,10 @@ fn main() {
         "\nfine-tuning improved {}/{} drifted clusters ({})",
         improved,
         improvements.len(),
-        if improved == improvements.len() { "✓" } else { "partial" }
+        if improved == improvements.len() {
+            "✓"
+        } else {
+            "partial"
+        }
     );
 }

@@ -20,7 +20,10 @@ struct SweepPoint {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 8 — score vs memory budget k (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 8 — score vs memory budget k (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(40, env.seed);
@@ -35,8 +38,13 @@ fn main() {
 
     let mut table = ReportTable::new(
         "Fig. 8 — score vs k",
-        &["method", &format!("k={}", ks[0]), &format!("k={}", ks[1]),
-          &format!("k={}", ks[2]), &format!("k={}", ks[3])],
+        &[
+            "method",
+            &format!("k={}", ks[0]),
+            &format!("k={}", ks[1]),
+            &format!("k={}", ks[2]),
+            &format!("k={}", ks[3]),
+        ],
     );
     let mut points = Vec::new();
 
@@ -44,8 +52,8 @@ fn main() {
     let mut asqp_scores = Vec::new();
     for &k in &ks {
         let cfg = scaled_config(&env, k, 50);
-        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
-            .expect("trains");
+        let (m, _) =
+            measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL").expect("trains");
         asqp_scores.push(m.score);
         points.push(SweepPoint {
             method: "ASQP-RL".into(),
@@ -63,8 +71,16 @@ fn main() {
     for mut b in fast_roster(&env) {
         let mut scores = Vec::new();
         for &k in &ks {
-            let m = measure_baseline(&db, &train_w, &test_w, &counts, k, scaled_config(&env, k, 50).metric_params(), b.as_mut())
-                .expect("builds");
+            let m = measure_baseline(
+                &db,
+                &train_w,
+                &test_w,
+                &counts,
+                k,
+                scaled_config(&env, k, 50).metric_params(),
+                b.as_mut(),
+            )
+            .expect("builds");
             scores.push(m.score);
             points.push(SweepPoint {
                 method: b.name().into(),
@@ -102,6 +118,10 @@ fn main() {
     println!(
         "\nat k={}: ASQP {asqp:.3} vs best baseline {best_other:.3} ({})",
         ks[3],
-        if asqp > best_other { "ASQP leads ✓" } else { "ordering differs" }
+        if asqp > best_other {
+            "ASQP leads ✓"
+        } else {
+            "ordering differs"
+        }
     );
 }

@@ -21,7 +21,10 @@ struct SweepPoint {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 9 — score vs frame size F (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 9 — score vs frame size F (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(40, env.seed);
@@ -40,8 +43,8 @@ fn main() {
     let mut asqp_scores = Vec::new();
     for &f in &frames {
         let cfg = scaled_config(&env, k, f);
-        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
-            .expect("trains");
+        let (m, _) =
+            measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL").expect("trains");
         asqp_scores.push(m.score);
         points.push(SweepPoint {
             method: "ASQP-RL".into(),
@@ -59,8 +62,16 @@ fn main() {
     for mut b in fast_roster(&env) {
         let mut scores = Vec::new();
         for &f in &frames {
-            let m = measure_baseline(&db, &train_w, &test_w, &counts, k, MetricParams::new(f), b.as_mut())
-                .expect("builds");
+            let m = measure_baseline(
+                &db,
+                &train_w,
+                &test_w,
+                &counts,
+                k,
+                MetricParams::new(f),
+                b.as_mut(),
+            )
+            .expect("builds");
             scores.push(m.score);
             points.push(SweepPoint {
                 method: b.name().into(),
@@ -79,9 +90,16 @@ fn main() {
     save_json("fig09_frame", &points);
 
     // Shape: scores weakly decrease in F for ASQP (harder problem).
-    let dec = asqp_scores.windows(2).filter(|w| w[1] <= w[0] + 0.03).count();
+    let dec = asqp_scores
+        .windows(2)
+        .filter(|w| w[1] <= w[0] + 0.03)
+        .count();
     println!(
         "\nASQP monotonicity in F: {dec}/3 steps non-increasing ({})",
-        if dec >= 2 { "expected shape ✓" } else { "noisy" }
+        if dec >= 2 {
+            "expected shape ✓"
+        } else {
+            "noisy"
+        }
     );
 }

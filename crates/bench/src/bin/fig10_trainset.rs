@@ -20,7 +20,10 @@ struct TrainsetPoint {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 10 — score & time vs training-set share (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 10 — score & time vs training-set share (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(60, env.seed);
@@ -37,8 +40,8 @@ fn main() {
     for share in [1.0f64, 0.75, 0.5, 0.25] {
         let train_w = train_full.truncate_frac(share);
         let cfg = scaled_config(&env, k, 50);
-        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
-            .expect("trains");
+        let (m, _) =
+            measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL").expect("trains");
         println!(
             "  share {share:.2} ({} queries): score {:.3}, setup {}",
             train_w.len(),

@@ -21,7 +21,10 @@ struct HyperPoint {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 11 — hyper-parameter sweeps (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 11 — hyper-parameter sweeps (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(40, env.seed);
@@ -34,8 +37,8 @@ fn main() {
     let mut run = |label: &'static str, value: f64, edit: &dyn Fn(&mut asqp_core::AsqpConfig)| {
         let mut cfg = scaled_config(&env, k, 50);
         edit(&mut cfg);
-        let (m, _) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, label)
-            .expect("variant trains");
+        let (m, _) =
+            measure_asqp(&db, &train_w, &test_w, &counts, &cfg, label).expect("variant trains");
         println!("  {label} = {value:<8}: score {:.3}", m.score);
         points.push(HyperPoint {
             parameter: label,
@@ -55,7 +58,9 @@ fn main() {
     // plus the default).
     println!("\nlearning rate:");
     for &lr in &[5e-4f64, 1e-3, 5e-3, 5e-2] {
-        run("learning_rate", lr, &|c| c.trainer.learning_rate = lr as f32);
+        run("learning_rate", lr, &|c| {
+            c.trainer.learning_rate = lr as f32
+        });
     }
 
     // KL coefficient (paper grid).
@@ -87,11 +92,21 @@ fn main() {
     save_json("fig11_hyper", &points);
 
     // The paper sets entropy = 0.001; check it is at/near the sweep's best.
-    let ent: Vec<&HyperPoint> = points.iter().filter(|p| p.parameter == "entropy_coef").collect();
-    let best = ent.iter().map(|p| p.score).fold(f64::NEG_INFINITY, f64::max);
+    let ent: Vec<&HyperPoint> = points
+        .iter()
+        .filter(|p| p.parameter == "entropy_coef")
+        .collect();
+    let best = ent
+        .iter()
+        .map(|p| p.score)
+        .fold(f64::NEG_INFINITY, f64::max);
     let at_default = ent.iter().find(|p| p.value == 0.001).unwrap().score;
     println!(
         "\nentropy 0.001 scores {at_default:.3}, sweep best {best:.3} ({})",
-        if at_default >= best - 0.05 { "default well-placed ✓" } else { "default not optimal here" }
+        if at_default >= best - 0.05 {
+            "default well-placed ✓"
+        } else {
+            "default not optimal here"
+        }
     );
 }

@@ -26,7 +26,10 @@ struct ClassErrors {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("Fig. 12 — aggregate relative error (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "Fig. 12 — aggregate relative error (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::flights::generate(env.scale, env.seed);
     let n_queries = match env.scale {
@@ -67,7 +70,8 @@ fn main() {
     let spn = Spn::learn(db.table("flights").expect("flights table"));
 
     // Evaluate all three on the held-out aggregates.
-    let mut per_class: BTreeMap<String, (Vec<f64>, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    type ErrAccum = (Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut per_class: BTreeMap<String, ErrAccum> = BTreeMap::new();
     let mut skipped_spn = 0usize;
     for q in &test_w.queries {
         let truth = db.execute(q).expect("truth executes");
@@ -132,7 +136,11 @@ fn main() {
     let beats_vae = rows.iter().filter(|r| r.asqp <= r.gaqp_vae).count();
     println!(
         "\nASQP lowest in {asqp_wins}/{classes} classes; beats gAQP in {beats_vae}/{classes} ({})",
-        if beats_vae * 2 >= classes { "competitive as reported ✓" } else { "weaker than reported" }
+        if beats_vae * 2 >= classes {
+            "competitive as reported ✓"
+        } else {
+            "weaker than reported"
+        }
     );
     let _ = Workload::uniform(vec![]);
 }

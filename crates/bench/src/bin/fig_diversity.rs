@@ -22,7 +22,10 @@ struct DiversityRow {
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!("§6.2 — answer diversity (scale {:?}, seed {})", env.scale, env.seed);
+    println!(
+        "§6.2 — answer diversity (scale {:?}, seed {})",
+        env.scale, env.seed
+    );
 
     let db = asqp_data::imdb::generate(env.scale, env.seed);
     let workload = asqp_data::imdb::workload(40, env.seed);
@@ -42,7 +45,11 @@ fn main() {
     // Reference: the full database.
     let db_div = workload_diversity(&db, &test_w, 100).expect("diversity");
     println!("  full DB   diversity {db_div:.3}");
-    table.row(vec!["full DB".into(), format!("{db_div:.3}"), "1.000".into()]);
+    table.row(vec![
+        "full DB".into(),
+        format!("{db_div:.3}"),
+        "1.000".into(),
+    ]);
     rows.push(DiversityRow {
         method: "full DB".into(),
         diversity: db_div,
@@ -50,8 +57,8 @@ fn main() {
     });
 
     // ASQP-RL.
-    let (m, model) = measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL")
-        .expect("trains");
+    let (m, model) =
+        measure_asqp(&db, &train_w, &test_w, &counts, &cfg, "ASQP-RL").expect("trains");
     let sub = model.materialize(&db, None).expect("materialises");
     let asqp_div = workload_diversity(&sub, &test_w, 100).expect("diversity");
     println!("  ASQP-RL   diversity {asqp_div:.3}  score {:.3}", m.score);
@@ -67,9 +74,7 @@ fn main() {
     });
 
     for mut b in fast_roster(&env) {
-        let out = b
-            .build(&db, &train_w, k, params)
-            .expect("baseline builds");
+        let out = b.build(&db, &train_w, k, params).expect("baseline builds");
         let bsub = out.materialize(&db).expect("materialises");
         let d = workload_diversity(&bsub, &test_w, 100).expect("diversity");
         let s = asqp_core::score_with_counts(&bsub, &test_w, &counts, params).expect("scores");

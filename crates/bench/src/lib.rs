@@ -16,7 +16,7 @@ use asqp_core::{score_with_counts, AsqpConfig, FullCounts, MetricParams, Trained
 use asqp_data::Scale;
 use asqp_db::{Database, DbResult, Workload};
 use serde::Serialize;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 pub mod report;
 
@@ -165,19 +165,21 @@ pub fn scaled_config(env: &BenchEnv, k: usize, frame: usize) -> AsqpConfig {
     cfg
 }
 
-/// Baseline time budgets (the paper's 48-hour caps scaled to the harness:
-/// BRT and GRE always hit their budget, exactly as in the paper).
-pub fn brute_force_budget(env: &BenchEnv) -> Duration {
+/// Baseline work budgets (the paper's 48-hour caps scaled to the harness:
+/// BRT and GRE always exhaust their budget, exactly as in the paper).
+/// Counted in candidate evaluations, not wall-clock, so every figure is
+/// byte-identical across runs and machines.
+pub fn brute_force_draws(env: &BenchEnv) -> usize {
     match env.scale {
-        Scale::Tiny => Duration::from_secs(2),
-        _ => Duration::from_secs(8),
+        Scale::Tiny => 120,
+        _ => 60,
     }
 }
 
-pub fn greedy_budget(env: &BenchEnv) -> Duration {
+pub fn greedy_evals(env: &BenchEnv) -> usize {
     match env.scale {
-        Scale::Tiny => Duration::from_secs(2),
-        _ => Duration::from_secs(8),
+        Scale::Tiny => 6_000,
+        _ => 12_000,
     }
 }
 
@@ -199,7 +201,7 @@ pub fn baseline_roster(env: &BenchEnv) -> Vec<Box<dyn Baseline>> {
         Box::new(Skyline),
         Box::new(BruteForce {
             seed,
-            time_budget: brute_force_budget(env),
+            draws: brute_force_draws(env),
         }),
         Box::new(QueryResultDiversification {
             seed,
@@ -207,7 +209,7 @@ pub fn baseline_roster(env: &BenchEnv) -> Vec<Box<dyn Baseline>> {
         }),
         Box::new(TopQueried { seed }),
         Box::new(Greedy {
-            time_budget: greedy_budget(env),
+            max_evals: greedy_evals(env),
         }),
     ]
 }
@@ -276,7 +278,9 @@ mod tests {
             seed: 1,
         };
         let names: Vec<&str> = baseline_roster(&env).iter().map(|b| b.name()).collect();
-        for expected in ["VAE", "CACH", "RAN", "QUIK", "VERD", "SKY", "BRT", "QRD", "TOP", "GRE"] {
+        for expected in [
+            "VAE", "CACH", "RAN", "QUIK", "VERD", "SKY", "BRT", "QRD", "TOP", "GRE",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }

@@ -6,9 +6,7 @@
 //! through unscaled. Relative error (Eq. 2) handles GROUP BY outputs by
 //! matching groups and charging missing groups a full error of 1.
 
-use asqp_db::{
-    AggExpr, AggFunc, Database, DbResult, Query, ResultSet, Row, SelectItem, Value,
-};
+use asqp_db::{AggExpr, AggFunc, Database, DbResult, Query, ResultSet, Row, SelectItem, Value};
 use std::collections::HashMap;
 
 /// Per-query scale factor: product over FROM tables of
@@ -28,12 +26,11 @@ pub fn scale_factor(full: &Database, subset: &Database, q: &Query) -> DbResult<f
 
 /// Execute an aggregate query on the approximation set, scaling COUNT/SUM
 /// outputs by the sampling ratio.
-pub fn approximate_aggregate(
-    full: &Database,
-    subset: &Database,
-    q: &Query,
-) -> DbResult<ResultSet> {
-    assert!(q.is_aggregate(), "approximate_aggregate expects an aggregate query");
+pub fn approximate_aggregate(full: &Database, subset: &Database, q: &Query) -> DbResult<ResultSet> {
+    assert!(
+        q.is_aggregate(),
+        "approximate_aggregate expects an aggregate query"
+    );
     let mut rs = subset.execute(q)?;
     let factor = scale_factor(full, subset, q)?;
 
@@ -97,8 +94,7 @@ pub fn result_relative_error(q: &Query, pred: &ResultSet, truth: &ResultSet) -> 
     }
 
     let key_of = |row: &Row| -> Vec<Value> { key_cols.iter().map(|&c| row[c].clone()).collect() };
-    let truth_map: HashMap<Vec<Value>, &Row> =
-        truth.rows.iter().map(|r| (key_of(r), r)).collect();
+    let truth_map: HashMap<Vec<Value>, &Row> = truth.rows.iter().map(|r| (key_of(r), r)).collect();
     let pred_map: HashMap<Vec<Value>, &Row> = pred.rows.iter().map(|r| (key_of(r), r)).collect();
 
     let mut total = 0.0;

@@ -3,7 +3,9 @@
 //! NP-hardness.
 
 use crate::metric::{score_with_counts, FullCounts, MetricParams};
-use asqp_db::{ColumnDef, Database, DbResult, Expr, Query, Schema, Table, Value, ValueType, Workload};
+use asqp_db::{
+    ColumnDef, Database, DbResult, Expr, Query, Schema, Table, Value, ValueType, Workload,
+};
 use std::collections::BTreeMap;
 
 /// A fully-specified ANAQP instance: `(T, Q, w, k, F)`.
@@ -87,27 +89,34 @@ impl AnaqpInstance {
 
     /// Greedy marginal-gain solver (the classic (1−1/e) heuristic for
     /// coverage-like objectives). Used as a reference point and by the GRE
-    /// baseline. `time_budget` bounds wall-clock work, mirroring the
-    /// paper's 48-hour cap on GRE.
-    pub fn solve_greedy(&self, time_budget: std::time::Duration) -> DbResult<(Selection, f64)> {
-        let start = std::time::Instant::now();
+    /// baseline. `max_evals` caps the number of candidate scorings — the
+    /// deterministic analogue of the paper's 48-hour wall-clock cap on GRE,
+    /// chosen so repeated runs reproduce byte-identical selections.
+    pub fn solve_greedy(&self, max_evals: usize) -> DbResult<(Selection, f64)> {
+        let mut evals = 0usize;
         let full = FullCounts::compute(&self.db, &self.workload)?;
         let mut sel: Selection = BTreeMap::new();
         let mut current = {
             let sub = self.db.subset(&sel)?;
             score_with_counts(&sub, &self.workload, &full, self.params)?
         };
-        'outer: while Self::selection_size(&sel) < self.k {
+        let mut exhausted = false;
+        while !exhausted && Self::selection_size(&sel) < self.k {
             let mut best: Option<(String, usize, f64)> = None;
-            for table in self.db.tables() {
+            'scan: for table in self.db.tables() {
                 let chosen = sel.get(table.name()).cloned().unwrap_or_default();
                 for rid in 0..table.row_count() {
                     if chosen.contains(&rid) {
                         continue;
                     }
-                    if start.elapsed() > time_budget {
-                        break 'outer; // return the best found so far
+                    if evals >= max_evals {
+                        // Budget gone mid-scan: still commit the best
+                        // candidate seen so far (a partial greedy set, as
+                        // the paper reports for GRE), then stop.
+                        exhausted = true;
+                        break 'scan;
                     }
+                    evals += 1;
                     let mut cand = sel.clone();
                     cand.entry(table.name().to_string()).or_default().push(rid);
                     let sub = self.db.subset(&cand)?;
@@ -191,7 +200,11 @@ impl MaxKVertexCover {
                 .filter(|&&(u, v, _)| combo.contains(&u) || combo.contains(&v))
                 .map(|e| e.2)
                 .sum();
-            let frac = if total_w > 0.0 { covered / total_w } else { 1.0 };
+            let frac = if total_w > 0.0 {
+                covered / total_w
+            } else {
+                1.0
+            };
             if frac > best.1 {
                 best = (combo.clone(), frac);
             }
@@ -252,10 +265,11 @@ mod tests {
     fn greedy_matches_exact_on_modular_instance() {
         let inst = tiny_instance();
         let (_, exact) = inst.solve_exact_single_table().unwrap();
-        let (gsel, gscore) = inst
-            .solve_greedy(std::time::Duration::from_secs(10))
-            .unwrap();
-        assert!((gscore - exact).abs() < 1e-9, "greedy {gscore} vs exact {exact}");
+        let (gsel, gscore) = inst.solve_greedy(usize::MAX).unwrap();
+        assert!(
+            (gscore - exact).abs() < 1e-9,
+            "greedy {gscore} vs exact {exact}"
+        );
         assert!(AnaqpInstance::selection_size(&gsel) <= inst.k);
     }
 

@@ -67,7 +67,11 @@ pub fn workload_diversity(db: &Database, workload: &Workload, limit: usize) -> D
             counted += 1;
         }
     }
-    Ok(if counted == 0 { 0.0 } else { total / counted as f64 })
+    Ok(if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    })
 }
 
 #[cfg(test)]

@@ -337,7 +337,11 @@ impl AsqpEnv {
     /// representatives, repeatedly take the policy's argmax action, and
     /// return the finally-selected action indices. `budget` overrides the
     /// configured tuple budget when given.
-    pub fn greedy_rollout(&mut self, policy: &asqp_rl::ActorCritic, budget: Option<usize>) -> Vec<usize> {
+    pub fn greedy_rollout(
+        &mut self,
+        policy: &asqp_rl::ActorCritic,
+        budget: Option<usize>,
+    ) -> Vec<usize> {
         let saved_k = self.config.k;
         if let Some(b) = budget {
             self.config.k = b;
@@ -360,7 +364,9 @@ impl AsqpEnv {
             }
         }
         self.config.k = saved_k;
-        (0..self.space.len()).filter(|&a| self.selected[a]).collect()
+        (0..self.space.len())
+            .filter(|&a| self.selected[a])
+            .collect()
     }
 }
 
@@ -395,21 +401,19 @@ impl Environment for AsqpEnv {
         let mut mask = vec![false; n + 1];
         match self.phase {
             Phase::Grow => {
-                for a in 0..n {
-                    mask[a] = !self.selected[a] && self.fits(a);
+                for (a, m) in mask.iter_mut().enumerate().take(n) {
+                    *m = !self.selected[a] && self.fits(a);
                 }
             }
             Phase::Remove => {
-                for a in 0..n {
-                    mask[a] = self.selected[a];
-                }
+                mask[..n].copy_from_slice(&self.selected[..n]);
                 mask[n] = true; // no-op: keep the set as is
             }
             Phase::Add => {
                 let mut any = false;
-                for a in 0..n {
+                for (a, m) in mask.iter_mut().enumerate().take(n) {
                     if !self.selected[a] && self.fits(a) {
-                        mask[a] = true;
+                        *m = true;
                         any = true;
                     }
                 }

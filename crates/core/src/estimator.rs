@@ -118,11 +118,7 @@ impl AnswerabilityEstimator {
     /// Classification quality against measured ground truth:
     /// `(precision, recall)` of the "answerable" label at the configured
     /// threshold (the Fig. 5 measurement).
-    pub fn precision_recall(
-        &self,
-        queries: &[Query],
-        true_fractions: &[f64],
-    ) -> (f64, f64) {
+    pub fn precision_recall(&self, queries: &[Query], true_fractions: &[f64]) -> (f64, f64) {
         assert_eq!(queries.len(), true_fractions.len());
         let mut tp = 0usize;
         let mut fp = 0usize;
@@ -228,6 +224,10 @@ mod tests {
         )
         .unwrap();
         let p = est.predict(&agg);
-        assert!(p.confidence > 0.3, "SPJ rewrite should match training: {}", p.confidence);
+        assert!(
+            p.confidence > 0.3,
+            "SPJ rewrite should match training: {}",
+            p.confidence
+        );
     }
 }

@@ -45,13 +45,17 @@ pub mod preprocess;
 pub mod session;
 pub mod workload_synth;
 
-pub use aggregates::{approximate_aggregate, operator_class, relative_error, result_relative_error};
+pub use aggregates::{
+    approximate_aggregate, operator_class, relative_error, result_relative_error,
+};
 pub use anaqp::{AnaqpInstance, MaxKVertexCover, Selection};
 pub use diversity::{result_diversity, workload_diversity};
 pub use envs::{AsqpEnv, CoverageTracker, EnvConfig, EnvKind};
 pub use estimator::{AnswerabilityEstimator, Prediction};
 pub use metric::{per_query_fractions, score, score_with_counts, FullCounts, MetricParams};
 pub use model::{fine_tune, train, AsqpConfig, ModelSnapshot, TrainedModel};
-pub use preprocess::{preprocess, relax_query, Action, ActionSpace, PreprocessConfig, Preprocessed};
+pub use preprocess::{
+    preprocess, relax_query, Action, ActionSpace, PreprocessConfig, Preprocessed,
+};
 pub use session::{AnswerSource, Session, SessionConfig, SessionStats};
 pub use workload_synth::{detect_joins, synthesize_workload, JoinEdge};

@@ -55,11 +55,14 @@ pub struct FullCounts {
 }
 
 impl FullCounts {
+    /// `|q(T)|` per workload query, via the database's memoised cardinality
+    /// cache — repeated scoring runs against one full database (Fig. 2-style
+    /// baseline sweeps) execute each distinct query only once.
     pub fn compute(db: &Database, workload: &Workload) -> DbResult<FullCounts> {
         let counts = workload
             .queries
             .iter()
-            .map(|q| Ok(db.execute(q)?.rows.len()))
+            .map(|q| db.cached_row_count(q))
             .collect::<DbResult<Vec<_>>>()?;
         Ok(FullCounts { counts })
     }

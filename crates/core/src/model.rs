@@ -179,7 +179,10 @@ impl TrainedModel {
 
     /// Mean episode reward of the last training iteration (monitoring).
     pub fn final_reward(&self) -> f32 {
-        self.history.last().map(|s| s.mean_episode_reward).unwrap_or(0.0)
+        self.history
+            .last()
+            .map(|s| s.mean_episode_reward)
+            .unwrap_or(0.0)
     }
 }
 
@@ -359,7 +362,10 @@ mod tests {
         let model = train(&db, &w, &quick_config()).unwrap();
         let small: usize = model.selection(Some(10)).values().map(Vec::len).sum();
         let large: usize = model.selection(Some(50)).values().map(Vec::len).sum();
-        assert!(small <= large, "req_size must scale the set: {small} vs {large}");
+        assert!(
+            small <= large,
+            "req_size must scale the set: {small} vs {large}"
+        );
         assert!(small <= 10 + 5);
     }
 
@@ -407,8 +413,20 @@ mod tests {
         let tuned = fine_tune(&db, &model, &drift, 0.5).unwrap();
         let drift_w = Workload::uniform(drift);
         let params = MetricParams::new(20);
-        let before = score(&db, &model.materialize(&db, None).unwrap(), &drift_w, params).unwrap();
-        let after = score(&db, &tuned.materialize(&db, None).unwrap(), &drift_w, params).unwrap();
+        let before = score(
+            &db,
+            &model.materialize(&db, None).unwrap(),
+            &drift_w,
+            params,
+        )
+        .unwrap();
+        let after = score(
+            &db,
+            &tuned.materialize(&db, None).unwrap(),
+            &drift_w,
+            params,
+        )
+        .unwrap();
         assert!(
             after >= before - 0.05,
             "fine-tuning must not regress on drift queries: {before} -> {after}"

@@ -292,7 +292,8 @@ pub fn preprocess(
 
     // Representative selection on the relaxed queries; estimator embeddings
     // on the original queries (user queries arrive unrelaxed).
-    let (reps_all, _) = select_representatives(&relaxed, &embedder, cfg.n_representatives, cfg.seed);
+    let (reps_all, _) =
+        select_representatives(&relaxed, &embedder, cfg.n_representatives, cfg.seed);
     let train_embeddings: Vec<Vec<f32>> = workload
         .queries
         .iter()
@@ -580,8 +581,12 @@ mod tests {
     #[test]
     fn empty_workload_yields_empty_space() {
         let db = imdb::generate(Scale::Tiny, 1);
-        let pre = preprocess(&db, &Workload::uniform(vec![]), &PreprocessConfig::default())
-            .unwrap();
+        let pre = preprocess(
+            &db,
+            &Workload::uniform(vec![]),
+            &PreprocessConfig::default(),
+        )
+        .unwrap();
         assert!(pre.action_space.is_empty());
     }
 

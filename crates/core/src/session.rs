@@ -170,8 +170,10 @@ mod tests {
         let model = train(&db, &w, &quick_config()).unwrap();
         // The unit-test budget (k=60 across 12 queries) yields fractions
         // around 0.3, so route with a threshold matched to that scale.
-        let mut cfg = SessionConfig::default();
-        cfg.answer_threshold = 0.25;
+        let cfg = SessionConfig {
+            answer_threshold: 0.25,
+            ..SessionConfig::default()
+        };
         let mut session = Session::new(&db, model, cfg).unwrap();
 
         let mut subset_hits = 0;
@@ -193,8 +195,10 @@ mod tests {
         let db = imdb::generate(Scale::Tiny, 1);
         let w = imdb::workload(8, 1);
         let model = train(&db, &w, &quick_config()).unwrap();
-        let mut cfg = SessionConfig::default();
-        cfg.auto_fine_tune = false;
+        let cfg = SessionConfig {
+            auto_fine_tune: false,
+            ..SessionConfig::default()
+        };
         let mut session = Session::new(&db, model, cfg).unwrap();
 
         // A MAS-style query the IMDB model has never seen (unknown tables
@@ -213,8 +217,10 @@ mod tests {
         let db = imdb::generate(Scale::Tiny, 1);
         let w = imdb::workload(8, 2);
         let model = train(&db, &w, &quick_config()).unwrap();
-        let mut cfg = SessionConfig::default();
-        cfg.drift_trigger = 2;
+        let cfg = SessionConfig {
+            drift_trigger: 2,
+            ..SessionConfig::default()
+        };
         let mut session = Session::new(&db, model, cfg).unwrap();
 
         let drift = [
@@ -238,11 +244,14 @@ mod tests {
         let db = imdb::generate(Scale::Tiny, 1);
         let w = imdb::workload(12, 1);
         let model = train(&db, &w, &quick_config()).unwrap();
-        let mut cfg = SessionConfig::default();
-        cfg.answer_threshold = 0.0; // force subset answering
+        let cfg = SessionConfig {
+            answer_threshold: 0.0, // force subset answering
+            ..SessionConfig::default()
+        };
         let mut session = Session::new(&db, model, cfg).unwrap();
-        let agg = asqp_db::sql::parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 1900")
-            .unwrap();
+        let agg =
+            asqp_db::sql::parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 1900")
+                .unwrap();
         let (rs, src) = session.query(&agg).unwrap();
         assert_eq!(src, AnswerSource::ApproximationSet);
         // Scaled count should be in the order of the true count, not the

@@ -3,9 +3,7 @@
 //! mean ± std, categorical filters sampled from the (popularity-weighted)
 //! top values — plus joins discovered by value containment.
 
-use asqp_db::{
-    ColRef, Database, Expr, Query, TableStats, Value, ValueType, Workload,
-};
+use asqp_db::{ColRef, Database, Expr, Query, TableStats, Value, ValueType, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use std::collections::HashSet;
@@ -42,7 +40,9 @@ pub fn detect_joins(db: &Database) -> Vec<JoinEdge> {
                 if to.name() == from.name() {
                     continue;
                 }
-                let Some(tci) = to.schema().index_of(&fcol_join_target(&fcol.name, to, fcol.ty))
+                let Some(tci) = to
+                    .schema()
+                    .index_of(&fcol_join_target(&fcol.name, to, fcol.ty))
                 else {
                     continue;
                 };
@@ -247,9 +247,9 @@ mod tests {
         let db = flights::generate(Scale::Tiny, 1);
         let edges = detect_joins(&db);
         let has = |f: &str, fc: &str, t: &str, tc: &str| {
-            edges.iter().any(|e| {
-                e.from_table == f && e.from_col == fc && e.to_table == t && e.to_col == tc
-            })
+            edges
+                .iter()
+                .any(|e| e.from_table == f && e.from_col == fc && e.to_table == t && e.to_col == tc)
         };
         assert!(has("flights", "carrier", "carriers", "code"), "{edges:?}");
         assert!(has("flights", "origin", "airports", "code"), "{edges:?}");

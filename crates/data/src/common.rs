@@ -1,7 +1,7 @@
 //! Shared utilities for dataset generation: scale presets, word pools and
 //! skewed samplers.
 
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -149,7 +149,12 @@ mod tests {
         for _ in 0..10000 {
             counts[zipf_index(100, 1.1, &mut rng)] += 1;
         }
-        assert!(counts[0] > counts[50] * 3, "head {} tail {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 3,
+            "head {} tail {}",
+            counts[0],
+            counts[50]
+        );
         assert!(counts.iter().sum::<usize>() == 10000);
     }
 

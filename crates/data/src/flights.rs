@@ -3,9 +3,7 @@
 //! paper's §6.4 AQP comparison (Fig. 12).
 
 use crate::common::{normal, zipf_index, Scale};
-use asqp_db::{
-    AggFunc, CmpOp, ColRef, Database, Expr, Query, Schema, Value, ValueType, Workload,
-};
+use asqp_db::{AggFunc, CmpOp, ColRef, Database, Expr, Query, Schema, Value, ValueType, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -30,7 +28,10 @@ pub fn generate(scale: Scale, seed: u64) -> Database {
         .expect("fresh database");
     for c in CARRIERS {
         carriers
-            .push_row(&[Value::Str(c.to_string()), Value::Str(format!("{c} airlines"))])
+            .push_row(&[
+                Value::Str(c.to_string()),
+                Value::Str(format!("{c} airlines")),
+            ])
             .expect("row matches schema");
     }
 
@@ -44,7 +45,9 @@ pub fn generate(scale: Scale, seed: u64) -> Database {
             ]),
         )
         .expect("fresh database");
-    const STATES: &[&str] = &["GA", "CA", "IL", "TX", "CO", "NY", "CA", "WA", "FL", "MA", "AZ", "NV"];
+    const STATES: &[&str] = &[
+        "GA", "CA", "IL", "TX", "CO", "NY", "CA", "WA", "FL", "MA", "AZ", "NV",
+    ];
     for (i, a) in AIRPORTS.iter().enumerate() {
         airports
             .push_row(&[
@@ -217,10 +220,7 @@ pub fn aggregate_workload(n: usize, seed: u64) -> Workload {
                 Expr::col("f", "distance"),
                 Expr::lit(rng.random_range(200..1500) as f64),
             ),
-            1 => Expr::eq(
-                Expr::col("f", "month"),
-                Expr::lit(rng.random_range(1..13)),
-            ),
+            1 => Expr::eq(Expr::col("f", "month"), Expr::lit(rng.random_range(1..13))),
             _ => Expr::cmp(
                 CmpOp::Ge,
                 Expr::col("f", "dep_delay"),

@@ -6,9 +6,7 @@
 //! tables, Zipf-skewed text values and a recency-skewed year distribution.
 
 use crate::common::{normal, zipf_index, Scale, WordPool};
-use asqp_db::{
-    CmpOp, ColRef, Database, Expr, Query, Schema, Value, ValueType, Workload,
-};
+use asqp_db::{CmpOp, ColRef, Database, Expr, Query, Schema, Value, ValueType, Workload};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -127,10 +125,7 @@ pub fn generate(scale: Scale, seed: u64) -> Database {
     let mc = db
         .create_table(
             "movie_companies",
-            Schema::build(&[
-                ("movie_id", ValueType::Int),
-                ("company_id", ValueType::Int),
-            ]),
+            Schema::build(&[("movie_id", ValueType::Int), ("company_id", ValueType::Int)]),
         )
         .expect("fresh database");
     for _ in 0..n_movie_companies {
@@ -200,7 +195,11 @@ pub fn workload(n: usize, seed: u64) -> Workload {
                     .join_on("c", "person_id", "p", "id")
                     .filter(Expr::and(
                         Expr::eq(Expr::col("p", "gender"), Expr::lit(gender)),
-                        Expr::cmp(CmpOp::Gt, Expr::col("t", "production_year"), Expr::lit(year)),
+                        Expr::cmp(
+                            CmpOp::Gt,
+                            Expr::col("t", "production_year"),
+                            Expr::lit(year),
+                        ),
                     ))
                     .build()
             }

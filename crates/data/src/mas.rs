@@ -101,10 +101,7 @@ pub fn generate(scale: Scale, seed: u64) -> Database {
     let writes = db
         .create_table(
             "writes",
-            Schema::build(&[
-                ("author_id", ValueType::Int),
-                ("pub_id", ValueType::Int),
-            ]),
+            Schema::build(&[("author_id", ValueType::Int), ("pub_id", ValueType::Int)]),
         )
         .expect("fresh database");
     for _ in 0..n_writes {
@@ -181,7 +178,11 @@ pub fn workload(n: usize, seed: u64) -> Workload {
                     .from_as("publication", "p")
                     .join_on("a", "id", "w", "author_id")
                     .join_on("w", "pub_id", "p", "id")
-                    .filter(Expr::cmp(CmpOp::Ge, Expr::col("p", "year"), Expr::lit(year)))
+                    .filter(Expr::cmp(
+                        CmpOp::Ge,
+                        Expr::col("p", "year"),
+                        Expr::lit(year),
+                    ))
                     .build()
             }
             // Authors by affiliation pattern.

@@ -8,12 +8,49 @@ use crate::schema::Schema;
 use crate::sql;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
+
+/// Memoised full-database result cardinalities (`|q(D)|` in the paper's
+/// Eq. 1), keyed by each query's canonical SQL. Derived state: cloning or
+/// deserialising a database starts with an empty cache, and any mutation
+/// entry point clears it.
+#[derive(Debug, Default)]
+struct CountCache(RwLock<HashMap<String, usize>>);
+
+impl CountCache {
+    fn get(&self, key: &str) -> Option<usize> {
+        self.0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .copied()
+    }
+
+    fn put(&self, key: String, n: usize) {
+        self.0
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, n);
+    }
+
+    fn clear(&self) {
+        self.0.write().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Clone for CountCache {
+    fn clone(&self) -> Self {
+        CountCache::default()
+    }
+}
 
 /// An in-memory database: named tables in deterministic (sorted) order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    #[serde(skip)]
+    count_cache: CountCache,
 }
 
 impl Database {
@@ -26,6 +63,7 @@ impl Database {
         if self.tables.contains_key(table.name()) {
             return Err(DbError::Duplicate(table.name().to_string()));
         }
+        self.count_cache.clear();
         self.tables.insert(table.name().to_string(), table);
         Ok(())
     }
@@ -43,6 +81,8 @@ impl Database {
     }
 
     pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        // Handing out mutable table access may change any cached count.
+        self.count_cache.clear();
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -54,6 +94,7 @@ impl Database {
 
     /// Remove a table from the catalog, returning it.
     pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
+        self.count_cache.clear();
         self.tables
             .remove(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -81,6 +122,20 @@ impl Database {
     /// produced it (the provenance ASQP-RL uses to build its action space).
     pub fn execute_with_lineage(&self, query: &Query) -> DbResult<QueryOutput> {
         execute_with_lineage(self, query)
+    }
+
+    /// Result cardinality `|q(D)|`, memoised across calls keyed by the
+    /// query's canonical SQL. The Eq.-1 metric normalises every per-query
+    /// fraction by this count, so scoring many candidate approximation sets
+    /// against one workload re-uses each full-database execution.
+    pub fn cached_row_count(&self, query: &Query) -> DbResult<usize> {
+        let key = query.to_sql();
+        if let Some(n) = self.count_cache.get(&key) {
+            return Ok(n);
+        }
+        let n = self.execute(query)?.rows.len();
+        self.count_cache.put(key, n);
+        Ok(n)
     }
 
     /// Parse and execute SQL text.

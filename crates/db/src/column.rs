@@ -13,7 +13,10 @@ pub enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     /// Dictionary-encoded strings: `codes[i]` indexes into `dict`.
-    Str { codes: Vec<u32>, dict: Vec<String> },
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+    },
     Bool(Vec<bool>),
 }
 

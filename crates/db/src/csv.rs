@@ -210,7 +210,15 @@ pub fn to_csv(columns: &[String], rows: &[Vec<Value>]) -> String {
         }
     };
     let mut out = String::new();
-    let _ = writeln!(out, "{}", columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+    let _ = writeln!(
+        out,
+        "{}",
+        columns
+            .iter()
+            .map(|c| quote(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for row in rows {
         let cells: Vec<String> = row
             .iter()
@@ -247,7 +255,12 @@ mod tests {
     #[test]
     fn roundtrip_through_csv() {
         let t = load_csv("people", SAMPLE, None).unwrap();
-        let cols: Vec<String> = t.schema().columns().iter().map(|c| c.name.clone()).collect();
+        let cols: Vec<String> = t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let rows: Vec<Vec<Value>> = (0..t.row_count()).map(|r| t.row(r)).collect();
         let text = to_csv(&cols, &rows);
         let t2 = load_csv("people2", &text, Some(t.schema().clone())).unwrap();
@@ -279,7 +292,8 @@ mod tests {
     #[test]
     fn loaded_table_is_queryable() {
         let mut db = crate::Database::new();
-        db.add_table(load_csv("people", SAMPLE, None).unwrap()).unwrap();
+        db.add_table(load_csv("people", SAMPLE, None).unwrap())
+            .unwrap();
         let r = db
             .sql("SELECT people.name FROM people WHERE people.score >= 8")
             .unwrap();

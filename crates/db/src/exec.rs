@@ -6,16 +6,70 @@
 //! columnar storage. This keeps joins cheap and makes result **lineage**
 //! (which base rows produced each result row) fall out for free; ASQP-RL's
 //! pre-processing builds its RL action space from exactly that lineage.
+//!
+//! Two scan/probe implementations share this pipeline (see [`ExecMode`]):
+//! the default **vectorized** path compiles pushed-down conjuncts into typed
+//! column kernels evaluated over selection vectors on ~2048-row morsels with
+//! zone-map pruning ([`vector`]), and shards scans and hash-join probes
+//! across crossbeam scoped threads with deterministic in-order concatenation;
+//! the **row-oriented** path materialises one `Row` per candidate and is kept
+//! as a correctness oracle and benchmark baseline.
 
 use crate::catalog::Database;
 use crate::error::{DbError, DbResult};
 use crate::expr::{ColRef, Expr};
 use crate::query::{Query, SelectItem, TableRef};
 use crate::table::Table;
-use crate::value::{Row, Value};
+use crate::value::{canonical_f64_bits, Row, Value};
 use std::collections::HashMap;
 
 mod aggregate;
+mod vector;
+
+/// Which scan/probe implementation the executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Typed column kernels over selection vectors on morsels, zone-map
+    /// pruning, sharded scans/probes. The default.
+    Vectorized,
+    /// Row-at-a-time predicate evaluation over materialised rows; retained
+    /// as a correctness oracle and as the benchmark baseline.
+    RowOriented,
+}
+
+/// Executor tuning knobs, passed to [`execute_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    pub mode: ExecMode,
+    /// Worker count for morsel scans and join probes (1 = sequential).
+    /// Results are identical for any value: shards are contiguous ranges
+    /// concatenated in submission order.
+    pub shards: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Vectorized,
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The legacy row-at-a-time configuration (sequential).
+    pub fn row_oriented() -> Self {
+        ExecOptions {
+            mode: ExecMode::RowOriented,
+            shards: 1,
+        }
+    }
+}
+
+/// Probe sides smaller than this stay sequential regardless of `shards`.
+const PARALLEL_PROBE_MIN: usize = 4096;
 
 /// Provenance of one result row: `(binding index, base-table row id)` for
 /// every table bound in the FROM clause, in FROM order.
@@ -63,6 +117,9 @@ struct Binding<'a> {
 struct Layout<'a> {
     bindings: Vec<Binding<'a>>,
     total_slots: usize,
+    /// Precomputed `slot → (binding index, local column index)`, replacing a
+    /// per-fetch linear scan over the bindings.
+    slot_map: Vec<(usize, usize)>,
 }
 
 impl<'a> Layout<'a> {
@@ -71,6 +128,7 @@ impl<'a> Layout<'a> {
             return Err(DbError::InvalidQuery("FROM clause is empty".into()));
         }
         let mut bindings = Vec::with_capacity(from.len());
+        let mut slot_map = Vec::new();
         let mut offset = 0;
         for tref in from {
             let name = tref.binding().to_string();
@@ -78,6 +136,8 @@ impl<'a> Layout<'a> {
                 return Err(DbError::Duplicate(format!("table binding {name}")));
             }
             let table = db.table(&tref.table)?;
+            let bi = bindings.len();
+            slot_map.extend((0..table.schema().len()).map(|c| (bi, c)));
             bindings.push(Binding {
                 name,
                 table,
@@ -88,6 +148,7 @@ impl<'a> Layout<'a> {
         Ok(Layout {
             bindings,
             total_slots: offset,
+            slot_map,
         })
     }
 
@@ -118,14 +179,10 @@ impl<'a> Layout<'a> {
         }
     }
 
-    /// Which binding owns a flat slot, and the local column index.
+    /// Which binding owns a flat slot, and the local column index. O(1)
+    /// lookup in the precomputed slot table.
     fn slot_owner(&self, slot: usize) -> (usize, usize) {
-        for (i, b) in self.bindings.iter().enumerate() {
-            if slot >= b.offset && slot < b.offset + b.table.schema().len() {
-                return (i, slot - b.offset);
-            }
-        }
-        unreachable!("slot {slot} outside layout of {} slots", self.total_slots)
+        self.slot_map[slot]
     }
 
     /// Qualified output name for a flat slot.
@@ -149,10 +206,7 @@ impl<'a> Layout<'a> {
 /// Slots an expression reads, mapped to the set of bindings it touches.
 fn expr_bindings(layout: &Layout, e: &Expr, slots_out: &mut Vec<usize>) -> Vec<usize> {
     collect_slots(e, slots_out);
-    let mut bs: Vec<usize> = slots_out
-        .iter()
-        .map(|&s| layout.slot_owner(s).0)
-        .collect();
+    let mut bs: Vec<usize> = slots_out.iter().map(|&s| layout.slot_owner(s).0).collect();
     bs.sort_unstable();
     bs.dedup();
     bs
@@ -250,8 +304,8 @@ fn filtered_scan(table: &Table, pred: Option<&Expr>) -> DbResult<Vec<usize>> {
             let ncols = table.schema().len();
             let mut row: Row = vec![Value::Null; ncols];
             for rid in 0..n {
-                for c in 0..ncols {
-                    row[c] = table.value(rid, c);
+                for (c, v) in row.iter_mut().enumerate().take(ncols) {
+                    *v = table.value(rid, c);
                 }
                 if p.matches(&row)? {
                     out.push(rid);
@@ -276,7 +330,18 @@ pub fn execute(db: &Database, query: &Query) -> DbResult<ResultSet> {
 }
 
 /// Execute a query, keeping per-row lineage for non-aggregate queries.
+/// Uses the default (vectorized) executor configuration.
 pub fn execute_with_lineage(db: &Database, query: &Query) -> DbResult<QueryOutput> {
+    execute_with_options(db, query, ExecOptions::default())
+}
+
+/// Execute with an explicit executor configuration. All modes produce
+/// identical results (rows, order, lineage); see [`ExecMode`].
+pub fn execute_with_options(
+    db: &Database,
+    query: &Query,
+    opts: ExecOptions,
+) -> DbResult<QueryOutput> {
     let layout = Layout::new(db, &query.from)?;
     let resolve = |c: &ColRef| layout.resolve(c);
 
@@ -320,13 +385,12 @@ pub fn execute_with_lineage(db: &Database, query: &Query) -> DbResult<QueryOutpu
     // --- Filtered scans (predicate pushdown) ----------------------------
     let mut scans: Vec<Vec<usize>> = Vec::with_capacity(layout.bindings.len());
     for (i, b) in layout.bindings.iter().enumerate() {
-        let local = Expr::conjunction(
-            single[i]
-                .iter()
-                .map(|e| localize(e, b.offset))
-                .collect::<Vec<_>>(),
-        );
-        scans.push(filtered_scan(b.table, local.as_ref())?);
+        let local: Vec<Expr> = single[i].iter().map(|e| localize(e, b.offset)).collect();
+        let scan = match opts.mode {
+            ExecMode::Vectorized => vector::filtered_scan_vectorized(b.table, &local, opts.shards)?,
+            ExecMode::RowOriented => filtered_scan(b.table, Expr::conjunction(local).as_ref())?,
+        };
+        scans.push(scan);
     }
 
     // --- Join ------------------------------------------------------------
@@ -399,38 +463,59 @@ pub fn execute_with_lineage(db: &Database, query: &Query) -> DbResult<QueryOutpu
             }
             inter = out;
         } else {
-            // Hash join: build on `next`'s filtered rows.
-            let build_local: Vec<usize> = link
-                .iter()
-                .map(|&(_, bs)| layout.slot_owner(bs).1)
-                .collect();
-            let mut hash: HashMap<Vec<Value>, Vec<usize>> =
-                HashMap::with_capacity(scans[next].len());
-            for &rid in &scans[next] {
-                let key: Vec<Value> = build_local
-                    .iter()
-                    .map(|&c| b.table.column(c).get(rid))
-                    .collect();
-                if key.iter().any(Value::is_null) {
-                    continue; // NULL never equi-joins
-                }
-                hash.entry(key).or_default().push(rid);
-            }
-            let mut out = Vec::new();
-            for t in &inter {
-                let key: Vec<Value> = link.iter().map(|&(ps, _)| layout.fetch(t, ps)).collect();
-                if key.iter().any(Value::is_null) {
-                    continue;
-                }
-                if let Some(matches) = hash.get(&key) {
-                    for &rid in matches {
-                        let mut nt = t.clone();
-                        nt[next] = rid;
-                        out.push(nt);
+            // Hash join: build on `next`'s filtered rows, probe the
+            // intermediate (sharded when large and the mode allows it).
+            let probe_shards =
+                if opts.mode == ExecMode::Vectorized && inter.len() >= PARALLEL_PROBE_MIN {
+                    opts.shards
+                } else {
+                    1
+                };
+            let numeric = |col: &crate::column::Column| {
+                matches!(
+                    col.data(),
+                    crate::column::ColumnData::Int(_) | crate::column::ColumnData::Float(_)
+                )
+            };
+            let single_numeric_key = opts.mode == ExecMode::Vectorized && link.len() == 1 && {
+                let (ps, bs) = link[0];
+                let (pb, pc) = layout.slot_owner(ps);
+                let bc = layout.slot_owner(bs).1;
+                numeric(layout.bindings[pb].table.column(pc)) && numeric(b.table.column(bc))
+            };
+            if single_numeric_key {
+                // Fast path: key on the canonical f64 bit pattern, which
+                // matches Value's Eq/Hash for numeric values exactly.
+                let (ps, bs) = link[0];
+                let (pb, pc) = layout.slot_owner(ps);
+                let bc = layout.slot_owner(bs).1;
+                let build_col = b.table.column(bc);
+                let mut hash: HashMap<u64, Vec<usize>> = HashMap::with_capacity(scans[next].len());
+                for &rid in &scans[next] {
+                    if let Some(v) = build_col.get_f64(rid) {
+                        hash.entry(canonical_f64_bits(v)).or_default().push(rid);
                     }
                 }
+                inter = vector::probe_numeric(&layout, &inter, &hash, pb, pc, next, probe_shards)?;
+            } else {
+                let build_local: Vec<usize> = link
+                    .iter()
+                    .map(|&(_, bs)| layout.slot_owner(bs).1)
+                    .collect();
+                let mut hash: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(scans[next].len());
+                for &rid in &scans[next] {
+                    let key: Vec<Value> = build_local
+                        .iter()
+                        .map(|&c| b.table.column(c).get(rid))
+                        .collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL never equi-joins
+                    }
+                    hash.entry(key).or_default().push(rid);
+                }
+                inter = vector::probe_general(&layout, &inter, &hash, &link, next, probe_shards)?;
             }
-            inter = out;
         }
         joined[next] = true;
 
@@ -617,8 +702,8 @@ pub fn execute_nested_loop(db: &Database, query: &Query) -> DbResult<ResultSet> 
     let mut flat: Row = vec![Value::Null; layout.total_slots];
     let mut kept: Vec<Vec<usize>> = Vec::new();
     for t in inter {
-        for s in 0..layout.total_slots {
-            flat[s] = layout.fetch(&t, s);
+        for (s, v) in flat.iter_mut().enumerate() {
+            *v = layout.fetch(&t, s);
         }
         let ok = match &pred {
             Some(p) => p.matches(&flat)?,

@@ -36,8 +36,8 @@ impl AggState {
     fn update(&mut self, v: Option<&Value>) {
         match self {
             AggState::Count(c) => match v {
-                None => *c += 1,                    // COUNT(*)
-                Some(Value::Null) => {}             // COUNT(col) skips NULLs
+                None => *c += 1,        // COUNT(*)
+                Some(Value::Null) => {} // COUNT(col) skips NULLs
                 Some(_) => *c += 1,
             },
             AggState::Sum { sum, any, int } => {
@@ -164,9 +164,9 @@ pub(super) fn aggregate(
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
     for t in inter {
         let key: Vec<Value> = group_slots.iter().map(|&s| layout.fetch(t, s)).collect();
-        let states = groups.entry(key).or_insert_with(|| {
-            agg_specs.iter().map(|a| AggState::new(a.func)).collect()
-        });
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| agg_specs.iter().map(|a| AggState::new(a.func)).collect());
         for (st, slot) in states.iter_mut().zip(&agg_slots) {
             match slot {
                 Some(s) => st.update(Some(&layout.fetch(t, *s))),
@@ -209,7 +209,9 @@ pub(super) fn aggregate(
                 let name = k.column.to_string();
                 let pos = items
                     .iter()
-                    .position(|it| it.name == name || it.name.ends_with(&format!(".{}", k.column.column)))
+                    .position(|it| {
+                        it.name == name || it.name.ends_with(&format!(".{}", k.column.column))
+                    })
                     .ok_or_else(|| {
                         DbError::InvalidQuery(format!("ORDER BY {name}: not an output column"))
                     })?;

@@ -1,0 +1,676 @@
+//! Vectorized scan path: localized conjuncts are *compiled* into typed
+//! column kernels, evaluated over selection vectors on [`MORSEL_ROWS`]-sized
+//! morsels. Kernels read the columnar payloads directly (dictionary codes,
+//! `i64`/`f64` slices) and never materialise per-cell [`Value`]s; only the
+//! residual [`Kernel::Generic`] fallback touches `Value`, and it fetches just
+//! the slots its expression references.
+//!
+//! Filtering conjunct-by-conjunct over a selection vector is equivalent to
+//! evaluating the full conjunction under SQL three-valued logic *for row
+//! keeping*: a WHERE clause keeps a row iff the predicate is `TRUE`, and a
+//! conjunction is `TRUE` iff every conjunct is — both `FALSE` and `NULL`
+//! conjuncts drop the row either way.
+//!
+//! Morsels are processed in row order; when sharded across threads each
+//! shard covers a contiguous chunk range and results are concatenated in
+//! shard order, so output row ids are identical to a sequential scan.
+
+use super::{collect_slots, Layout};
+use crate::column::ColumnData;
+use crate::error::{DbError, DbResult};
+use crate::expr::{CmpOp, Expr};
+use crate::table::Table;
+use crate::value::{canonical_f64_bits, Row, Value};
+use crate::zonemap::{Zone, ZoneBounds, MORSEL_ROWS};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A numeric literal, kept typed so integer comparisons stay exact.
+#[derive(Debug, Clone, Copy)]
+enum NumConst {
+    Int(i64),
+    Float(f64),
+}
+
+impl NumConst {
+    fn of(v: &Value) -> Option<NumConst> {
+        match v {
+            Value::Int(i) => Some(NumConst::Int(*i)),
+            Value::Float(f) => Some(NumConst::Float(*f)),
+            _ => None,
+        }
+    }
+
+    fn as_f64(self) -> f64 {
+        match self {
+            NumConst::Int(i) => i as f64,
+            NumConst::Float(f) => f,
+        }
+    }
+}
+
+/// Mixed-type numeric comparison with [`Value::sql_cmp`] semantics:
+/// int/int compares exactly, anything else through `f64` (`None` on NaN).
+fn nc_cmp(a: NumConst, b: NumConst) -> Option<Ordering> {
+    match (a, b) {
+        (NumConst::Int(x), NumConst::Int(y)) => Some(x.cmp(&y)),
+        _ => a.as_f64().partial_cmp(&b.as_f64()),
+    }
+}
+
+/// One compiled conjunct.
+#[derive(Debug)]
+enum Kernel {
+    /// `col <op> const` on a numeric column.
+    NumCmp {
+        col: usize,
+        op: CmpOp,
+        rhs: NumConst,
+    },
+    /// `col [NOT] BETWEEN lo AND hi` on a numeric column.
+    NumBetween {
+        col: usize,
+        lo: NumConst,
+        hi: NumConst,
+        negated: bool,
+    },
+    /// `col [NOT] IN (...)` on a numeric column.
+    NumIn {
+        col: usize,
+        ints: Vec<i64>,
+        floats: Vec<f64>,
+        negated: bool,
+        has_null: bool,
+    },
+    /// `col IS [NOT] NULL` on any column: a pure validity-bitmap scan.
+    IsNull { col: usize, negated: bool },
+    /// Any single-column predicate on a dictionary-encoded string column,
+    /// pre-evaluated once per dictionary entry: per row it is a single
+    /// `mask[code]` lookup. Covers `=`, `<`, LIKE, IN, arbitrary combos.
+    DictMask {
+        col: usize,
+        mask: Vec<bool>,
+        null_passes: bool,
+    },
+    /// Same idea for boolean columns (three possible inputs).
+    BoolMask {
+        col: usize,
+        pass_true: bool,
+        pass_false: bool,
+        pass_null: bool,
+    },
+    /// The conjunct can never be `TRUE` (e.g. comparison against NULL):
+    /// the whole scan is empty.
+    DropAll,
+    /// Fallback: row-at-a-time evaluation fetching only the referenced slots.
+    Generic { expr: Expr, slots: Vec<usize> },
+}
+
+impl Kernel {
+    /// Column whose zone maps can prune chunks for this kernel.
+    fn prune_col(&self) -> Option<usize> {
+        match self {
+            Kernel::NumCmp { col, .. }
+            | Kernel::NumBetween { col, .. }
+            | Kernel::NumIn { col, .. }
+            | Kernel::IsNull { col, .. } => Some(*col),
+            _ => None,
+        }
+    }
+}
+
+/// `true` when the kernel provably rejects every row summarised by `zone`.
+/// All decisions are conservative: incomparable bounds (NaN) never prune.
+fn kernel_skips(k: &Kernel, zone: &Zone) -> bool {
+    let bounds = match (k, &zone.bounds) {
+        // An all-NULL chunk: NULL never satisfies a comparison, BETWEEN or
+        // IN (negated or not) — only IS NULL can keep rows here.
+        (Kernel::IsNull { negated, .. }, None) => return *negated,
+        (Kernel::IsNull { negated, .. }, Some(_)) => {
+            return !*negated && !zone.has_nulls;
+        }
+        (_, None) => return true,
+        (_, Some(b)) => b,
+    };
+    let (min, max) = match *bounds {
+        ZoneBounds::Int { min, max } => (NumConst::Int(min), NumConst::Int(max)),
+        ZoneBounds::Float { min, max } => (NumConst::Float(min), NumConst::Float(max)),
+    };
+    match k {
+        Kernel::NumCmp { op, rhs, .. } => match op {
+            CmpOp::Eq => {
+                matches!(nc_cmp(*rhs, min), Some(Ordering::Less))
+                    || matches!(nc_cmp(*rhs, max), Some(Ordering::Greater))
+            }
+            CmpOp::Lt => matches!(nc_cmp(min, *rhs), Some(Ordering::Equal | Ordering::Greater)),
+            CmpOp::Le => matches!(nc_cmp(min, *rhs), Some(Ordering::Greater)),
+            CmpOp::Gt => matches!(nc_cmp(max, *rhs), Some(Ordering::Equal | Ordering::Less)),
+            CmpOp::Ge => matches!(nc_cmp(max, *rhs), Some(Ordering::Less)),
+            CmpOp::Ne => {
+                matches!(nc_cmp(min, max), Some(Ordering::Equal))
+                    && matches!(nc_cmp(min, *rhs), Some(Ordering::Equal))
+            }
+        },
+        Kernel::NumBetween {
+            lo, hi, negated, ..
+        } => {
+            if *negated {
+                // Skip only if every value provably lies inside [lo, hi].
+                matches!(nc_cmp(min, *lo), Some(Ordering::Equal | Ordering::Greater))
+                    && matches!(nc_cmp(max, *hi), Some(Ordering::Equal | Ordering::Less))
+            } else {
+                matches!(nc_cmp(max, *lo), Some(Ordering::Less))
+                    || matches!(nc_cmp(min, *hi), Some(Ordering::Greater))
+            }
+        }
+        Kernel::NumIn {
+            ints,
+            floats,
+            negated,
+            ..
+        } => {
+            if *negated {
+                return false;
+            }
+            // Skip when every list item is provably outside [min, max].
+            let outside = |c: NumConst| {
+                matches!(nc_cmp(c, min), Some(Ordering::Less))
+                    || matches!(nc_cmp(c, max), Some(Ordering::Greater))
+            };
+            ints.iter().all(|&i| outside(NumConst::Int(i)))
+                && floats.iter().all(|&f| outside(NumConst::Float(f)))
+        }
+        _ => false,
+    }
+}
+
+/// A compiled localized predicate for one table.
+pub(super) struct Compiled {
+    kernels: Vec<Kernel>,
+    any_prunable: bool,
+    always_empty: bool,
+}
+
+pub(super) fn compile(conjuncts: &[Expr], table: &Table) -> Compiled {
+    let mut kernels: Vec<Kernel> = conjuncts.iter().map(|c| compile_one(c, table)).collect();
+    // Typed kernels first (cheapest filters shrink the selection before the
+    // generic fallback runs); stable within each class.
+    kernels.sort_by_key(|k| matches!(k, Kernel::Generic { .. }) as u8);
+    let always_empty = kernels.iter().any(|k| matches!(k, Kernel::DropAll));
+    let any_prunable = kernels.iter().any(|k| k.prune_col().is_some());
+    Compiled {
+        kernels,
+        any_prunable,
+        always_empty,
+    }
+}
+
+fn compile_one(conj: &Expr, table: &Table) -> Kernel {
+    let mut slots = Vec::new();
+    collect_slots(conj, &mut slots);
+    slots.sort_unstable();
+    slots.dedup();
+    let generic = || Kernel::Generic {
+        expr: conj.clone(),
+        slots: slots.clone(),
+    };
+    let [col] = slots[..] else { return generic() };
+    if col >= table.schema().len() {
+        return generic();
+    }
+
+    // IS NULL needs only the validity bitmap, whatever the column type.
+    if let Expr::IsNull { expr, negated } = conj {
+        if matches!(**expr, Expr::Slot(s) if s == col) {
+            return Kernel::IsNull {
+                col,
+                negated: *negated,
+            };
+        }
+    }
+
+    let ncols = table.schema().len();
+    match table.column(col).data() {
+        ColumnData::Str { dict, .. } => {
+            // Pre-evaluate the conjunct for every dictionary entry (and for
+            // NULL); per-row evaluation becomes a mask lookup on the code.
+            let mut row: Row = vec![Value::Null; ncols];
+            let mut mask = Vec::with_capacity(dict.len());
+            for entry in dict {
+                row[col] = Value::Str(entry.clone());
+                match conj.eval(&row) {
+                    Ok(v) => mask.push(matches!(v, Value::Bool(true))),
+                    Err(_) => return generic(),
+                }
+            }
+            row[col] = Value::Null;
+            let null_passes = match conj.eval(&row) {
+                Ok(v) => matches!(v, Value::Bool(true)),
+                Err(_) => return generic(),
+            };
+            Kernel::DictMask {
+                col,
+                mask,
+                null_passes,
+            }
+        }
+        ColumnData::Bool(_) => {
+            let mut row: Row = vec![Value::Null; ncols];
+            let mut pass = [false; 3];
+            for (i, v) in [Value::Bool(true), Value::Bool(false), Value::Null]
+                .into_iter()
+                .enumerate()
+            {
+                row[col] = v;
+                match conj.eval(&row) {
+                    Ok(r) => pass[i] = matches!(r, Value::Bool(true)),
+                    Err(_) => return generic(),
+                }
+            }
+            Kernel::BoolMask {
+                col,
+                pass_true: pass[0],
+                pass_false: pass[1],
+                pass_null: pass[2],
+            }
+        }
+        ColumnData::Int(_) | ColumnData::Float(_) => compile_numeric(conj, col, generic),
+    }
+}
+
+fn compile_numeric(conj: &Expr, col: usize, generic: impl Fn() -> Kernel) -> Kernel {
+    let is_slot = |e: &Expr| matches!(e, Expr::Slot(s) if *s == col);
+    match conj {
+        Expr::Cmp { op, lhs, rhs } => {
+            let (op, lit) = if is_slot(lhs) {
+                match &**rhs {
+                    Expr::Literal(v) => (*op, v),
+                    _ => return generic(),
+                }
+            } else if is_slot(rhs) {
+                match &**lhs {
+                    Expr::Literal(v) => (op.flip(), v),
+                    _ => return generic(),
+                }
+            } else {
+                return generic();
+            };
+            match NumConst::of(lit) {
+                Some(rhs) => Kernel::NumCmp { col, op, rhs },
+                // NULL or non-numeric literal: sql_cmp is None for every
+                // row, the comparison is never TRUE.
+                None => Kernel::DropAll,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } if is_slot(expr) => {
+            let (Expr::Literal(l), Expr::Literal(h)) = (&**low, &**high) else {
+                return generic();
+            };
+            match (NumConst::of(l), NumConst::of(h)) {
+                (Some(lo), Some(hi)) => {
+                    if lo.as_f64().is_nan() || hi.as_f64().is_nan() {
+                        return Kernel::DropAll; // comparisons are never TRUE
+                    }
+                    Kernel::NumBetween {
+                        col,
+                        lo,
+                        hi,
+                        negated: *negated,
+                    }
+                }
+                _ => Kernel::DropAll,
+            }
+        }
+        Expr::In {
+            expr,
+            list,
+            negated,
+        } if is_slot(expr) => {
+            let mut ints = Vec::new();
+            let mut floats = Vec::new();
+            let mut has_null = false;
+            for item in list {
+                match item {
+                    Value::Int(i) => ints.push(*i),
+                    Value::Float(f) => floats.push(*f),
+                    Value::Null => has_null = true,
+                    // Str/Bool items never equal a numeric value and are not
+                    // NULL: they contribute nothing.
+                    _ => {}
+                }
+            }
+            Kernel::NumIn {
+                col,
+                ints,
+                floats,
+                negated: *negated,
+                has_null,
+            }
+        }
+        _ => generic(),
+    }
+}
+
+/// Filter the selection vector in place through one kernel.
+fn apply_kernel(k: &Kernel, table: &Table, sel: &mut Vec<usize>) -> DbResult<()> {
+    match k {
+        Kernel::NumCmp { col, op, rhs } => {
+            let c = table.column(*col);
+            let valid = c.validity();
+            match (c.data(), rhs) {
+                (ColumnData::Int(d), NumConst::Int(x)) => {
+                    sel.retain(|&r| valid[r] && op.holds(d[r].cmp(x)));
+                }
+                (ColumnData::Int(d), NumConst::Float(x)) => {
+                    sel.retain(|&r| {
+                        valid[r] && matches!((d[r] as f64).partial_cmp(x), Some(o) if op.holds(o))
+                    });
+                }
+                (ColumnData::Float(d), _) => {
+                    let x = rhs.as_f64();
+                    sel.retain(|&r| {
+                        valid[r] && matches!(d[r].partial_cmp(&x), Some(o) if op.holds(o))
+                    });
+                }
+                _ => unreachable!("NumCmp compiled for a non-numeric column"),
+            }
+        }
+        Kernel::NumBetween {
+            col,
+            lo,
+            hi,
+            negated,
+        } => {
+            let c = table.column(*col);
+            let valid = c.validity();
+            match (c.data(), lo, hi) {
+                (ColumnData::Int(d), NumConst::Int(l), NumConst::Int(h)) => {
+                    sel.retain(|&r| valid[r] && ((d[r] >= *l && d[r] <= *h) != *negated));
+                }
+                (ColumnData::Int(d), _, _) => {
+                    let (l, h) = (lo.as_f64(), hi.as_f64());
+                    sel.retain(|&r| {
+                        let v = d[r] as f64;
+                        valid[r] && ((v >= l && v <= h) != *negated)
+                    });
+                }
+                (ColumnData::Float(d), _, _) => {
+                    let (l, h) = (lo.as_f64(), hi.as_f64());
+                    // NaN values compare as unknown → row dropped.
+                    sel.retain(|&r| {
+                        let v = d[r];
+                        valid[r] && !v.is_nan() && ((v >= l && v <= h) != *negated)
+                    });
+                }
+                _ => unreachable!("NumBetween compiled for a non-numeric column"),
+            }
+        }
+        Kernel::NumIn {
+            col,
+            ints,
+            floats,
+            negated,
+            has_null,
+        } => {
+            let c = table.column(*col);
+            let valid = c.validity();
+            let keep = |found: bool| {
+                if found {
+                    !*negated
+                } else if *has_null {
+                    false // unknown, not negated-match
+                } else {
+                    *negated
+                }
+            };
+            match c.data() {
+                ColumnData::Int(d) => {
+                    sel.retain(|&r| {
+                        valid[r] && {
+                            let v = d[r];
+                            keep(ints.contains(&v) || floats.contains(&(v as f64)))
+                        }
+                    });
+                }
+                ColumnData::Float(d) => {
+                    sel.retain(|&r| {
+                        valid[r] && {
+                            let v = d[r];
+                            keep(floats.contains(&v) || ints.iter().any(|&i| v == i as f64))
+                        }
+                    });
+                }
+                _ => unreachable!("NumIn compiled for a non-numeric column"),
+            }
+        }
+        Kernel::IsNull { col, negated } => {
+            let valid = table.column(*col).validity();
+            sel.retain(|&r| valid[r] == *negated);
+        }
+        Kernel::DictMask {
+            col,
+            mask,
+            null_passes,
+        } => {
+            let c = table.column(*col);
+            let valid = c.validity();
+            let ColumnData::Str { codes, .. } = c.data() else {
+                unreachable!("DictMask compiled for a non-string column")
+            };
+            sel.retain(|&r| {
+                if valid[r] {
+                    mask[codes[r] as usize]
+                } else {
+                    *null_passes
+                }
+            });
+        }
+        Kernel::BoolMask {
+            col,
+            pass_true,
+            pass_false,
+            pass_null,
+        } => {
+            let c = table.column(*col);
+            let valid = c.validity();
+            let ColumnData::Bool(d) = c.data() else {
+                unreachable!("BoolMask compiled for a non-bool column")
+            };
+            sel.retain(|&r| {
+                if !valid[r] {
+                    *pass_null
+                } else if d[r] {
+                    *pass_true
+                } else {
+                    *pass_false
+                }
+            });
+        }
+        Kernel::DropAll => sel.clear(),
+        Kernel::Generic { expr, slots } => {
+            let ncols = table.schema().len();
+            let mut row: Row = vec![Value::Null; ncols];
+            let mut out = Vec::with_capacity(sel.len());
+            for &r in sel.iter() {
+                for &s in slots {
+                    row[s] = table.value(r, s);
+                }
+                if expr.matches(&row)? {
+                    out.push(r);
+                }
+            }
+            *sel = out;
+        }
+    }
+    Ok(())
+}
+
+/// Run `f` over `0..n` split into at most `shards` contiguous ranges on
+/// crossbeam scoped threads, concatenating results in range order — output
+/// is byte-identical to the sequential `f(0, n)`.
+pub(super) fn run_sharded<T, F>(n: usize, shards: usize, f: F) -> DbResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> DbResult<Vec<T>> + Sync,
+{
+    if shards <= 1 || n < 2 {
+        return f(0, n);
+    }
+    let shards = shards.min(n);
+    let per = n.div_ceil(shards);
+    let ranges: Vec<(usize, usize)> = (0..shards)
+        .map(|i| (i * per, ((i + 1) * per).min(n)))
+        .filter(|(a, b)| a < b)
+        .collect();
+    let f = &f;
+    let parts: Vec<DbResult<Vec<T>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(a, b)| s.spawn(move |_| f(a, b)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    })
+    .map_err(|_| DbError::ShapeMismatch("parallel executor worker panicked".into()))?;
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(p?);
+    }
+    Ok(out)
+}
+
+/// Vectorized filtered scan: compile, zone-prune, then run morsels
+/// (optionally sharded). Returns passing row ids in ascending order.
+pub(super) fn filtered_scan_vectorized(
+    table: &Table,
+    conjuncts: &[Expr],
+    shards: usize,
+) -> DbResult<Vec<usize>> {
+    let n = table.row_count();
+    if conjuncts.is_empty() {
+        return Ok((0..n).collect());
+    }
+    let compiled = compile(conjuncts, table);
+    if compiled.always_empty || n == 0 {
+        return Ok(Vec::new());
+    }
+    let zones = if compiled.any_prunable {
+        Some(table.zone_maps())
+    } else {
+        None
+    };
+
+    // Whole-table pruning from the fold of all chunk bounds.
+    if let Some(z) = &zones {
+        for k in &compiled.kernels {
+            if let Some(col) = k.prune_col() {
+                if let Some(cz) = &z.columns[col] {
+                    if kernel_skips(k, &cz.whole) {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+    }
+
+    let nchunks = n.div_ceil(MORSEL_ROWS);
+    let shards = if n >= 2 * MORSEL_ROWS { shards } else { 1 };
+    run_sharded(nchunks, shards, |c0, c1| {
+        let mut out = Vec::new();
+        let mut sel: Vec<usize> = Vec::with_capacity(MORSEL_ROWS);
+        'chunks: for ch in c0..c1 {
+            let start = ch * MORSEL_ROWS;
+            let end = (start + MORSEL_ROWS).min(n);
+            if let Some(z) = &zones {
+                for k in &compiled.kernels {
+                    if let Some(col) = k.prune_col() {
+                        if let Some(cz) = &z.columns[col] {
+                            if kernel_skips(k, &cz.chunks[ch]) {
+                                continue 'chunks;
+                            }
+                        }
+                    }
+                }
+            }
+            sel.clear();
+            sel.extend(start..end);
+            for k in &compiled.kernels {
+                if sel.is_empty() {
+                    break;
+                }
+                apply_kernel(k, table, &mut sel)?;
+            }
+            out.extend_from_slice(&sel);
+        }
+        Ok(out)
+    })
+}
+
+/// Hash-join probe over the intermediate, general (multi-column) keys.
+/// Sharded over contiguous probe ranges; concatenation preserves the
+/// sequential output order exactly.
+pub(super) fn probe_general(
+    layout: &Layout,
+    inter: &[Vec<usize>],
+    hash: &HashMap<Vec<Value>, Vec<usize>>,
+    link: &[(usize, usize)],
+    next: usize,
+    shards: usize,
+) -> DbResult<Vec<Vec<usize>>> {
+    run_sharded(inter.len(), shards, |a, b| {
+        let mut out = Vec::new();
+        for t in &inter[a..b] {
+            let key: Vec<Value> = link.iter().map(|&(ps, _)| layout.fetch(t, ps)).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = hash.get(&key) {
+                for &rid in matches {
+                    let mut nt = t.clone();
+                    nt[next] = rid;
+                    out.push(nt);
+                }
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Single numeric-key probe fast path: keys are canonical `f64` bit
+/// patterns, which agrees exactly with `Value`'s Eq/Hash for numeric values
+/// (ints and floats that compare equal share a key; NULL never joins).
+pub(super) fn probe_numeric(
+    layout: &Layout,
+    inter: &[Vec<usize>],
+    hash: &HashMap<u64, Vec<usize>>,
+    probe_binding: usize,
+    probe_col: usize,
+    next: usize,
+    shards: usize,
+) -> DbResult<Vec<Vec<usize>>> {
+    let table = layout.bindings[probe_binding].table;
+    let col = table.column(probe_col);
+    run_sharded(inter.len(), shards, |a, b| {
+        let mut out = Vec::new();
+        for t in &inter[a..b] {
+            let Some(v) = col.get_f64(t[probe_binding]) else {
+                continue; // NULL or non-numeric never equi-joins
+            };
+            if let Some(matches) = hash.get(&canonical_f64_bits(v)) {
+                for &rid in matches {
+                    let mut nt = t.clone();
+                    nt[next] = rid;
+                    out.push(nt);
+                }
+            }
+        }
+        Ok(out)
+    })
+}

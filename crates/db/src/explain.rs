@@ -108,7 +108,15 @@ pub fn explain(db: &Database, query: &Query) -> DbResult<String> {
     }
 
     if query.is_aggregate() {
-        let _ = writeln!(out, "AGGREGATE: group by {:?}", query.group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>());
+        let _ = writeln!(
+            out,
+            "AGGREGATE: group by {:?}",
+            query
+                .group_by
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+        );
     }
     if query.distinct {
         let _ = writeln!(out, "DISTINCT");
@@ -136,7 +144,10 @@ fn estimate_scan(query: &Query, binding: &str, stats: &TableStats) -> usize {
             use crate::expr::{CmpOp, Expr};
             let col_sel = match &conj {
                 Expr::Between {
-                    expr, low, high, negated: false,
+                    expr,
+                    low,
+                    high,
+                    negated: false,
                 } => match (expr.as_ref(), low.as_ref(), high.as_ref()) {
                     (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) => stats
                         .column(&c.column)
@@ -145,17 +156,15 @@ fn estimate_scan(query: &Query, binding: &str, stats: &TableStats) -> usize {
                     _ => None,
                 },
                 Expr::Cmp { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
-                    (Expr::Column(c), Expr::Literal(v)) => {
-                        stats.column(&c.column).and_then(|cs| {
-                            let f = v.as_f64()?;
-                            Some(match op {
-                                CmpOp::Ge | CmpOp::Gt => cs.range_selectivity(f, f64::INFINITY),
-                                CmpOp::Le | CmpOp::Lt => cs.range_selectivity(f64::NEG_INFINITY, f),
-                                CmpOp::Eq => 1.0 / cs.distinct.max(1) as f64,
-                                CmpOp::Ne => 1.0 - 1.0 / cs.distinct.max(1) as f64,
-                            })
+                    (Expr::Column(c), Expr::Literal(v)) => stats.column(&c.column).and_then(|cs| {
+                        let f = v.as_f64()?;
+                        Some(match op {
+                            CmpOp::Ge | CmpOp::Gt => cs.range_selectivity(f, f64::INFINITY),
+                            CmpOp::Le | CmpOp::Lt => cs.range_selectivity(f64::NEG_INFINITY, f),
+                            CmpOp::Eq => 1.0 / cs.distinct.max(1) as f64,
+                            CmpOp::Ne => 1.0 - 1.0 / cs.distinct.max(1) as f64,
                         })
-                    }
+                    }),
                     _ => None,
                 },
                 _ => None,
@@ -175,7 +184,10 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         let big = db
-            .create_table("big", Schema::build(&[("id", ValueType::Int), ("x", ValueType::Int)]))
+            .create_table(
+                "big",
+                Schema::build(&[("id", ValueType::Int), ("x", ValueType::Int)]),
+            )
             .unwrap();
         for i in 0..1000 {
             big.push_row(&[Value::Int(i), Value::Int(i % 100)]).unwrap();
@@ -210,7 +222,10 @@ mod tests {
             .and_then(|s| s.split(' ').next())
             .and_then(|s| s.parse().ok())
             .unwrap();
-        assert!((60..=160).contains(&est), "estimate {est} out of range\n{plan}");
+        assert!(
+            (60..=160).contains(&est),
+            "estimate {est} out of range\n{plan}"
+        );
         assert!(plan.contains("[pushed:"), "{plan}");
     }
 

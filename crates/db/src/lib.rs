@@ -33,11 +33,15 @@ pub mod stats;
 pub mod table;
 pub mod value;
 pub mod workload;
+pub mod zonemap;
 
 pub use catalog::Database;
 pub use column::{Column, ColumnData};
 pub use error::{DbError, DbResult};
-pub use exec::{execute_nested_loop, Lineage, QueryOutput, ResultSet};
+pub use exec::{
+    execute_nested_loop, execute_with_options, ExecMode, ExecOptions, Lineage, QueryOutput,
+    ResultSet,
+};
 pub use explain::explain;
 pub use expr::{ArithOp, CmpOp, ColRef, Expr};
 pub use query::{AggExpr, AggFunc, JoinCond, OrderKey, Query, QueryBuilder, SelectItem, TableRef};
@@ -45,5 +49,5 @@ pub use schema::{ColumnDef, Schema};
 pub use sql_stmt::{execute_statement, parse_statement, Statement, StatementResult};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
-pub use workload::Workload;
 pub use value::{Row, Value, ValueType};
+pub use workload::Workload;

@@ -305,7 +305,8 @@ impl QueryBuilder {
     }
 
     pub fn select_agg(mut self, func: AggFunc, arg: Option<ColRef>) -> Self {
-        self.select.push(SelectItem::Aggregate(AggExpr { func, arg }));
+        self.select
+            .push(SelectItem::Aggregate(AggExpr { func, arg }));
         self
     }
 
@@ -385,7 +386,11 @@ mod tests {
             .from_as("movies", "m")
             .from_as("cast_info", "c")
             .join_on("m", "id", "c", "movie_id")
-            .filter(Expr::cmp(CmpOp::Gt, Expr::col("m", "year"), Expr::lit(2000)))
+            .filter(Expr::cmp(
+                CmpOp::Gt,
+                Expr::col("m", "year"),
+                Expr::lit(2000),
+            ))
             .limit(10)
             .build();
         assert_eq!(

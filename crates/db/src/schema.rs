@@ -59,10 +59,7 @@ impl Schema {
     /// Builder-style constructor used pervasively in tests and generators.
     pub fn build(cols: &[(&str, ValueType)]) -> Self {
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            columns: cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         }
     }
 
@@ -147,8 +144,12 @@ mod tests {
     #[test]
     fn check_row_types() {
         let s = Schema::build(&[("id", ValueType::Int), ("name", ValueType::Str)]);
-        assert!(s.check_row(&[Value::Int(1), Value::Str("x".into())]).is_ok());
-        assert!(s.check_row(&[Value::Str("x".into()), Value::Int(1)]).is_err());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Str("x".into())])
+            .is_ok());
+        assert!(s
+            .check_row(&[Value::Str("x".into()), Value::Int(1)])
+            .is_err());
         assert!(s.check_row(&[Value::Int(1)]).is_err());
     }
 

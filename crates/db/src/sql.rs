@@ -88,7 +88,8 @@ impl<'a> Lexer<'a> {
             while let Some(&c) = self.src.get(end) {
                 if c.is_ascii_digit() {
                     end += 1;
-                } else if c == b'.' && !is_float
+                } else if c == b'.'
+                    && !is_float
                     && matches!(self.src.get(end + 1), Some(d) if d.is_ascii_digit())
                 {
                     is_float = true;
@@ -136,12 +137,8 @@ impl<'a> Lexer<'a> {
             return Ok((Tok::Str(out), start));
         }
         // Symbols (two-char first)
-        let two: &[(&[u8], &'static str)] = &[
-            (b"<=", "<="),
-            (b">=", ">="),
-            (b"<>", "<>"),
-            (b"!=", "<>"),
-        ];
+        let two: &[(&[u8], &'static str)] =
+            &[(b"<=", "<="), (b">=", ">="), (b"<>", "<>"), (b"!=", "<>")];
         for (pat, sym) in two {
             if self.src[self.pos..].starts_with(pat) {
                 self.pos += 2;

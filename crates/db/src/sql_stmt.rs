@@ -14,9 +14,17 @@ use crate::value::{Value, ValueType};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(Query),
-    CreateTable { name: String, schema: Schema },
-    DropTable { name: String },
-    Insert { table: String, rows: Vec<Vec<Value>> },
+    CreateTable {
+        name: String,
+        schema: Schema,
+    },
+    DropTable {
+        name: String,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 /// Outcome of executing a statement.
@@ -65,7 +73,9 @@ pub fn execute_statement(db: &mut Database, text: &str) -> DbResult<StatementRes
             for r in &rows {
                 t.push_row(r)?;
             }
-            Ok(StatementResult::Done { affected: rows.len() })
+            Ok(StatementResult::Done {
+                affected: rows.len(),
+            })
         }
     }
 }
@@ -82,7 +92,10 @@ struct Scanner<'a> {
 
 impl<'a> Scanner<'a> {
     fn new(text: &'a str) -> Self {
-        Scanner { rest: text, consumed: 0 }
+        Scanner {
+            rest: text,
+            consumed: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> DbError {

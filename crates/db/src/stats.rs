@@ -202,7 +202,10 @@ mod tests {
         let s = TableStats::compute(&table());
         let x = s.column("x").unwrap();
         let all = x.range_selectivity(0.0, 99.0);
-        assert!((all - 1.0).abs() < 1e-9, "full range covers everything: {all}");
+        assert!(
+            (all - 1.0).abs() < 1e-9,
+            "full range covers everything: {all}"
+        );
         let half = x.range_selectivity(0.0, 49.0);
         assert!(half > 0.3 && half < 0.7, "half range ~ half: {half}");
         assert_eq!(x.range_selectivity(1000.0, 2000.0), 0.0);

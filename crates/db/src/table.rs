@@ -4,7 +4,9 @@ use crate::column::Column;
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::value::{Row, Value};
+use crate::zonemap::{TableZones, ZoneCache};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// In-memory table: one [`Column`] per schema column, all equal length.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -13,20 +15,20 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     row_count: usize,
+    /// Lazily built zone maps (derived state; reset on clone/deserialize).
+    #[serde(skip)]
+    zones: ZoneCache,
 }
 
 impl Table {
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = schema
-            .columns()
-            .iter()
-            .map(|c| Column::new(c.ty))
-            .collect();
+        let columns = schema.columns().iter().map(|c| Column::new(c.ty)).collect();
         Table {
             name: name.into(),
             schema,
             columns,
             row_count: 0,
+            zones: ZoneCache::default(),
         }
     }
 
@@ -41,6 +43,7 @@ impl Table {
             schema,
             columns,
             row_count: 0,
+            zones: ZoneCache::default(),
         }
     }
 
@@ -76,11 +79,21 @@ impl Table {
             col.push(v)?;
         }
         self.row_count += 1;
+        self.zones.invalidate();
         Ok(())
     }
 
+    /// Zone maps for this table, built on first use and cached until the
+    /// next mutation. Used by the vectorized executor to skip morsels.
+    pub fn zone_maps(&self) -> Arc<TableZones> {
+        self.zones.get_or_build(|| TableZones::build(self))
+    }
+
     /// Bulk load; fails on the first bad row (rows before it stay loaded).
-    pub fn extend_rows<'a, I: IntoIterator<Item = &'a [Value]>>(&mut self, rows: I) -> DbResult<()> {
+    pub fn extend_rows<'a, I: IntoIterator<Item = &'a [Value]>>(
+        &mut self,
+        rows: I,
+    ) -> DbResult<()> {
         for r in rows {
             self.push_row(r)?;
         }

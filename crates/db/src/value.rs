@@ -178,8 +178,9 @@ impl Hash for Value {
 }
 
 /// Bit pattern with -0.0 folded into +0.0 and all NaNs folded together, so
-/// `Hash` agrees with `Ord`.
-fn canonical_f64_bits(f: f64) -> u64 {
+/// `Hash` agrees with `Ord`. Also used by the executor's numeric join-key
+/// fast path, which must hash exactly like `Value`.
+pub(crate) fn canonical_f64_bits(f: f64) -> u64 {
     if f.is_nan() {
         f64::NAN.to_bits()
     } else if f == 0.0 {

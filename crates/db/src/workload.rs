@@ -1,7 +1,7 @@
 //! Weighted query workloads — the `Q`, `w` of the ANAQP problem statement.
 
 use crate::query::Query;
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A set of queries with normalised weights (`Σ w = 1`, paper §3).

@@ -1,0 +1,277 @@
+//! Zone maps: exact per-chunk and whole-column min/max bounds for numeric
+//! columns, used by the vectorized executor to skip morsels (and whole
+//! tables) that cannot satisfy a range predicate.
+//!
+//! Bounds are kept *typed* — `i64` for integer columns, `f64` for float
+//! columns — so pruning decisions use the same comparison semantics as
+//! [`crate::value::Value::sql_cmp`] and never misprune from lossy
+//! `i64 → f64` conversion. The maps are built lazily on first use, cached on
+//! the table behind an `RwLock`, and invalidated whenever a row is appended;
+//! cloning a table resets the cache (it is pure derived state).
+
+use crate::column::ColumnData;
+use crate::table::Table;
+use std::sync::{Arc, RwLock};
+
+/// Rows per execution morsel; zone-map chunks are aligned to this.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// Exact min/max for one chunk of one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZoneBounds {
+    Int { min: i64, max: i64 },
+    Float { min: f64, max: f64 },
+}
+
+/// Summary of one chunk: bounds over non-null values (`None` when the chunk
+/// is entirely NULL) plus a null-presence flag.
+#[derive(Debug, Clone, Copy)]
+pub struct Zone {
+    pub bounds: Option<ZoneBounds>,
+    pub has_nulls: bool,
+}
+
+/// Zone maps for one numeric column.
+#[derive(Debug, Clone)]
+pub struct ColumnZones {
+    /// One entry per [`MORSEL_ROWS`]-aligned chunk, in row order.
+    pub chunks: Vec<Zone>,
+    /// Bounds over the whole column (fold of `chunks`).
+    pub whole: Zone,
+}
+
+/// Zone maps for every column of a table; `None` for non-numeric columns.
+#[derive(Debug)]
+pub struct TableZones {
+    pub columns: Vec<Option<ColumnZones>>,
+}
+
+impl TableZones {
+    pub fn build(table: &Table) -> TableZones {
+        let n = table.row_count();
+        let columns = (0..table.schema().len())
+            .map(|ci| {
+                let col = table.column(ci);
+                match col.data() {
+                    ColumnData::Int(d) => {
+                        Some(build_zones(d, col.validity(), n, |vals| ZoneBounds::Int {
+                            min: *vals.iter().min().unwrap(),
+                            max: *vals.iter().max().unwrap(),
+                        }))
+                    }
+                    ColumnData::Float(d) => Some(build_zones(d, col.validity(), n, |vals| {
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        for &v in vals {
+                            // NaN widens the zone to "anything" so pruning
+                            // stays conservative for NaN-laden chunks.
+                            if v.is_nan() {
+                                return ZoneBounds::Float {
+                                    min: f64::NEG_INFINITY,
+                                    max: f64::INFINITY,
+                                };
+                            }
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
+                        ZoneBounds::Float { min, max }
+                    })),
+                    _ => None,
+                }
+            })
+            .collect();
+        TableZones { columns }
+    }
+}
+
+fn build_zones<T: Copy>(
+    data: &[T],
+    validity: &[bool],
+    n: usize,
+    bounds_of: impl Fn(&[T]) -> ZoneBounds,
+) -> ColumnZones {
+    let mut chunks = Vec::with_capacity(n.div_ceil(MORSEL_ROWS).max(1));
+    let mut start = 0;
+    let mut scratch: Vec<T> = Vec::with_capacity(MORSEL_ROWS);
+    while start < n {
+        let end = (start + MORSEL_ROWS).min(n);
+        scratch.clear();
+        let mut has_nulls = false;
+        for i in start..end {
+            if validity[i] {
+                scratch.push(data[i]);
+            } else {
+                has_nulls = true;
+            }
+        }
+        let bounds = if scratch.is_empty() {
+            None
+        } else {
+            Some(bounds_of(&scratch))
+        };
+        chunks.push(Zone { bounds, has_nulls });
+        start = end;
+    }
+    let whole = chunks.iter().fold(
+        Zone {
+            bounds: None,
+            has_nulls: false,
+        },
+        |acc, z| Zone {
+            bounds: merge_bounds(acc.bounds, z.bounds),
+            has_nulls: acc.has_nulls || z.has_nulls,
+        },
+    );
+    ColumnZones { chunks, whole }
+}
+
+fn merge_bounds(a: Option<ZoneBounds>, b: Option<ZoneBounds>) -> Option<ZoneBounds> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (
+            Some(ZoneBounds::Int { min: a0, max: a1 }),
+            Some(ZoneBounds::Int { min: b0, max: b1 }),
+        ) => Some(ZoneBounds::Int {
+            min: a0.min(b0),
+            max: a1.max(b1),
+        }),
+        (
+            Some(ZoneBounds::Float { min: a0, max: a1 }),
+            Some(ZoneBounds::Float { min: b0, max: b1 }),
+        ) => Some(ZoneBounds::Float {
+            min: a0.min(b0),
+            max: a1.max(b1),
+        }),
+        // Mixed bounds cannot occur within one column; widen to "anything".
+        _ => Some(ZoneBounds::Float {
+            min: f64::NEG_INFINITY,
+            max: f64::INFINITY,
+        }),
+    }
+}
+
+/// Lazily built zone-map cache carried by [`Table`]. Derived state only:
+/// serialisation skips it and cloning resets it.
+#[derive(Default)]
+pub struct ZoneCache(RwLock<Option<Arc<TableZones>>>);
+
+impl ZoneCache {
+    pub fn get_or_build(&self, build: impl FnOnce() -> TableZones) -> Arc<TableZones> {
+        if let Some(z) = self.0.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return Arc::clone(z);
+        }
+        let mut slot = self.0.write().unwrap_or_else(|e| e.into_inner());
+        // Double-checked: another thread may have built it in between.
+        if let Some(z) = slot.as_ref() {
+            return Arc::clone(z);
+        }
+        let z = Arc::new(build());
+        *slot = Some(Arc::clone(&z));
+        z
+    }
+
+    pub fn invalidate(&self) {
+        *self.0.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+impl Clone for ZoneCache {
+    fn clone(&self) -> Self {
+        ZoneCache::default()
+    }
+}
+
+impl std::fmt::Debug for ZoneCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let built = self.0.read().unwrap_or_else(|e| e.into_inner()).is_some();
+        write!(f, "ZoneCache {{ built: {built} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn table_with_ints(vals: &[Option<i64>]) -> Table {
+        let mut t = Table::new("t", Schema::build(&[("x", ValueType::Int)]));
+        for v in vals {
+            let row = [v.map(Value::Int).unwrap_or(Value::Null)];
+            t.push_row(&row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn int_bounds_are_exact() {
+        let t = table_with_ints(&[Some(5), Some(-3), None, Some(9)]);
+        let z = TableZones::build(&t);
+        let cz = z.columns[0].as_ref().unwrap();
+        assert_eq!(cz.chunks.len(), 1);
+        assert_eq!(cz.whole.bounds, Some(ZoneBounds::Int { min: -3, max: 9 }));
+        assert!(cz.whole.has_nulls);
+    }
+
+    #[test]
+    fn all_null_chunk_has_no_bounds() {
+        let t = table_with_ints(&[None, None]);
+        let z = TableZones::build(&t);
+        let cz = z.columns[0].as_ref().unwrap();
+        assert!(cz.whole.bounds.is_none());
+        assert!(cz.whole.has_nulls);
+    }
+
+    #[test]
+    fn chunks_align_to_morsels() {
+        let vals: Vec<Option<i64>> = (0..(MORSEL_ROWS as i64 * 2 + 10)).map(Some).collect();
+        let t = table_with_ints(&vals);
+        let z = TableZones::build(&t);
+        let cz = z.columns[0].as_ref().unwrap();
+        assert_eq!(cz.chunks.len(), 3);
+        assert_eq!(
+            cz.chunks[0].bounds,
+            Some(ZoneBounds::Int {
+                min: 0,
+                max: MORSEL_ROWS as i64 - 1
+            })
+        );
+        assert_eq!(
+            cz.chunks[2].bounds,
+            Some(ZoneBounds::Int {
+                min: MORSEL_ROWS as i64 * 2,
+                max: MORSEL_ROWS as i64 * 2 + 9
+            })
+        );
+    }
+
+    #[test]
+    fn string_columns_have_no_zones() {
+        let mut t = Table::new("s", Schema::build(&[("n", ValueType::Str)]));
+        t.push_row(&[Value::Str("a".into())]).unwrap();
+        let z = TableZones::build(&t);
+        assert!(z.columns[0].is_none());
+    }
+
+    #[test]
+    fn cache_invalidates_on_push_and_resets_on_clone() {
+        let mut t = table_with_ints(&[Some(1)]);
+        let z1 = t.zone_maps();
+        assert_eq!(
+            z1.columns[0].as_ref().unwrap().whole.bounds,
+            Some(ZoneBounds::Int { min: 1, max: 1 })
+        );
+        t.push_row(&[Value::Int(100)]).unwrap();
+        let z2 = t.zone_maps();
+        assert_eq!(
+            z2.columns[0].as_ref().unwrap().whole.bounds,
+            Some(ZoneBounds::Int { min: 1, max: 100 })
+        );
+        let c = t.clone();
+        let z3 = c.zone_maps();
+        assert_eq!(
+            z3.columns[0].as_ref().unwrap().whole.bounds,
+            z2.columns[0].as_ref().unwrap().whole.bounds
+        );
+    }
+}

@@ -1,9 +1,7 @@
 //! Executor integration tests: hash-join pipeline vs the nested-loop oracle,
 //! lineage correctness, aggregates, ordering and limits.
 
-use asqp_db::{
-    execute_nested_loop, CmpOp, Database, Expr, Query, Schema, Value, ValueType,
-};
+use asqp_db::{execute_nested_loop, CmpOp, Database, Expr, Query, Schema, Value, ValueType};
 
 /// A small movie database with referential structure.
 fn movie_db() -> Database {
@@ -99,12 +97,14 @@ fn hash_join_matches_oracle() {
 #[test]
 fn dangling_foreign_key_never_joins() {
     let db = movie_db();
-    let q = asqp_db::sql::parse(
-        "SELECT c.person FROM cast_info c JOIN movies m ON c.movie_id = m.id",
-    )
-    .unwrap();
+    let q =
+        asqp_db::sql::parse("SELECT c.person FROM cast_info c JOIN movies m ON c.movie_id = m.id")
+            .unwrap();
     let r = db.execute(&q).unwrap();
-    assert!(r.rows.iter().all(|row| row[0] != Value::Str("Ghost".into())));
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[0] != Value::Str("Ghost".into())));
 }
 
 #[test]
@@ -139,12 +139,14 @@ fn subset_execution_returns_subset_of_full_result() {
         "SELECT m.title, c.person FROM movies m, cast_info c WHERE m.id = c.movie_id",
     )
     .unwrap();
-    let full: std::collections::BTreeSet<_> =
-        db.execute(&q).unwrap().rows.into_iter().collect();
+    let full: std::collections::BTreeSet<_> = db.execute(&q).unwrap().rows.into_iter().collect();
     let part = sub.execute(&q).unwrap().rows;
     assert!(!part.is_empty());
     for row in &part {
-        assert!(full.contains(row), "subset produced a row not in the full answer");
+        assert!(
+            full.contains(row),
+            "subset produced a row not in the full answer"
+        );
     }
 }
 
@@ -293,9 +295,7 @@ fn null_join_keys_do_not_match() {
         .unwrap();
     r.push_row(&[Value::Null]).unwrap();
     r.push_row(&[Value::Int(1)]).unwrap();
-    let res = db
-        .sql("SELECT * FROM l, r WHERE l.k = r.k")
-        .unwrap();
+    let res = db.sql("SELECT * FROM l, r WHERE l.k = r.k").unwrap();
     assert_eq!(res.rows.len(), 1, "NULL = NULL must not join");
 }
 
@@ -303,7 +303,9 @@ fn null_join_keys_do_not_match() {
 fn ambiguous_bare_column_errors() {
     let db = movie_db();
     // `movie_id` exists only in cast_info → fine unqualified.
-    assert!(db.sql("SELECT * FROM movies, cast_info WHERE movie_id = 1").is_ok());
+    assert!(db
+        .sql("SELECT * FROM movies, cast_info WHERE movie_id = 1")
+        .is_ok());
     // `id` is unique too; but a column present in both tables must error.
     let mut db2 = Database::new();
     db2.create_table("a", Schema::build(&[("x", ValueType::Int)]))
@@ -323,10 +325,7 @@ fn select_star_output_columns_qualified() {
 #[test]
 fn aggregate_after_strip_runs_as_spj() {
     let db = movie_db();
-    let agg = asqp_db::sql::parse(
-        "SELECT m.year, COUNT(*) FROM movies m GROUP BY m.year",
-    )
-    .unwrap();
+    let agg = asqp_db::sql::parse("SELECT m.year, COUNT(*) FROM movies m GROUP BY m.year").unwrap();
     let spj = agg.strip_aggregates();
     let r = db.execute(&spj).unwrap();
     assert_eq!(r.rows.len(), 6); // one per movie: projected year only

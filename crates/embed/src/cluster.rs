@@ -2,7 +2,7 @@
 //! selection, drift clustering) and k-medoids (the QRD baseline).
 
 use crate::embedder::sq_dist;
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 
 /// Result of a clustering run.
 #[derive(Debug, Clone)]
@@ -60,10 +60,7 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut impl Rn
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..n)].clone());
-    let mut dists: Vec<f32> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f32> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f32 = dists.iter().sum();
         let idx = if total <= 0.0 {
@@ -192,12 +189,12 @@ pub fn kmedoids(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut impl 
         }
         // Update each medoid to the in-cluster point minimising total distance.
         let mut changed = false;
-        for mi in 0..k {
+        for (mi, med) in medoids.iter_mut().enumerate().take(k) {
             let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == mi).collect();
             if members.is_empty() {
                 continue;
             }
-            let mut best = medoids[mi];
+            let mut best = *med;
             let mut best_cost = f32::INFINITY;
             for &cand in &members {
                 let cost: f32 = members
@@ -209,8 +206,8 @@ pub fn kmedoids(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut impl 
                     best_cost = cost;
                 }
             }
-            if best != medoids[mi] {
-                medoids[mi] = best;
+            if best != *med {
+                *med = best;
                 changed = true;
             }
         }

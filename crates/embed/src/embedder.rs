@@ -63,7 +63,10 @@ impl Embedder {
         }
         for j in &q.joins {
             // Join edges canonicalised so a=b and b=a embed identically.
-            let mut pair = [j.left.to_string().to_lowercase(), j.right.to_string().to_lowercase()];
+            let mut pair = [
+                j.left.to_string().to_lowercase(),
+                j.right.to_string().to_lowercase(),
+            ];
             pair.sort();
             tokens.push(format!("join:{}={}", pair[0], pair[1]));
         }
@@ -255,10 +258,7 @@ mod tests {
     #[test]
     fn tuple_embedding_reflects_value_overlap() {
         let e = Embedder::new(256);
-        let schema = asqp_db::Schema::build(&[
-            ("title", ValueType::Str),
-            ("year", ValueType::Int),
-        ]);
+        let schema = asqp_db::Schema::build(&[("title", ValueType::Str), ("year", ValueType::Int)]);
         let r1 = vec![Value::Str("star wars".into()), Value::Int(1977)];
         let r2 = vec![Value::Str("star trek".into()), Value::Int(1979)];
         let r3 = vec![Value::Str("amelie".into()), Value::Int(2001)];

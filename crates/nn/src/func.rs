@@ -2,7 +2,7 @@
 //! masked categorical distributions, entropy.
 
 use crate::matrix::Matrix;
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 
 /// Numerically-stable softmax over each row.
 pub fn softmax_rows(x: &Matrix) -> Matrix {

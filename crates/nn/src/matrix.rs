@@ -1,6 +1,5 @@
 //! Dense row-major f32 matrices — the only tensor type the NN stack needs.
 
-use rand::RngExt as _;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -98,7 +97,8 @@ impl Matrix {
     /// `self @ other` — naive ikj matmul (cache-friendly inner loop).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()

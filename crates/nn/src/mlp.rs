@@ -64,7 +64,9 @@ impl Linear {
     }
 
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let y = self.act.forward(&x.matmul(&self.w).add_row_broadcast(&self.b));
+        let y = self
+            .act
+            .forward(&x.matmul(&self.w).add_row_broadcast(&self.b));
         self.cache_x = Some(x.clone());
         self.cache_y = Some(y.clone());
         y
@@ -72,7 +74,8 @@ impl Linear {
 
     /// Inference-only forward: no caches, `&self`.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.act.forward(&x.matmul(&self.w).add_row_broadcast(&self.b))
+        self.act
+            .forward(&x.matmul(&self.w).add_row_broadcast(&self.b))
     }
 
     /// Backprop: accumulate dW, db; return dX.
@@ -202,11 +205,7 @@ mod tests {
         let y = mlp.forward(&x);
         let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
         mlp.backward(&dy);
-        let analytic: Vec<Vec<f32>> = mlp
-            .params_and_grads()
-            .into_iter()
-            .map(|(_, g)| g)
-            .collect();
+        let analytic: Vec<Vec<f32>> = mlp.params_and_grads().into_iter().map(|(_, g)| g).collect();
 
         // Numeric gradients: central differences on cloned models.
         let eps = 1e-3f32;

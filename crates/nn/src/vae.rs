@@ -9,7 +9,7 @@
 use crate::matrix::Matrix;
 use crate::mlp::{Activation, Mlp};
 use crate::optim::Adam;
-use rand::{Rng, RngExt as _};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Standard-normal sample via Box–Muller (keeps `rand_distr` out of this

@@ -85,7 +85,10 @@ impl Environment for ToyCoverageEnv {
     }
 
     fn step(&mut self, action: usize) -> Transition {
-        assert!(!self.selected[action], "invalid action {action} re-selected");
+        assert!(
+            !self.selected[action],
+            "invalid action {action} re-selected"
+        );
         self.selected[action] = true;
         self.steps += 1;
         Transition {

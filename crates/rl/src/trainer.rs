@@ -90,10 +90,8 @@ impl Trainer {
     pub fn new(config: TrainerConfig, state_dim: usize, n_actions: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let policy = ActorCritic::new(state_dim, n_actions, &config.hidden, &mut rng);
-        let actor_opt =
-            Adam::new(config.learning_rate).with_max_grad_norm(Some(0.5));
-        let critic_opt =
-            Adam::new(config.learning_rate).with_max_grad_norm(Some(0.5));
+        let actor_opt = Adam::new(config.learning_rate).with_max_grad_norm(Some(0.5));
+        let critic_opt = Adam::new(config.learning_rate).with_max_grad_norm(Some(0.5));
         Trainer {
             config,
             policy,
@@ -270,8 +268,7 @@ impl Trainer {
                 AgentKind::Ppo => {
                     let ratio = (lp_new - step.logprob).exp();
                     let unclipped = ratio * adv;
-                    let clipped =
-                        ratio.clamp(1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * adv;
+                    let clipped = ratio.clamp(1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * adv;
                     policy_loss += -unclipped.min(clipped);
                     if unclipped <= clipped {
                         // min picks the unclipped term → gradient flows.

@@ -57,7 +57,11 @@ fn main() {
     println!("\nexample: {sample}");
     let truth = db.execute(sample).expect("runs");
     let approx = approximate_aggregate(&db, &subset, sample).expect("runs");
-    println!("  truth rows: {}, approx rows: {}", truth.rows.len(), approx.rows.len());
+    println!(
+        "  truth rows: {}, approx rows: {}",
+        truth.rows.len(),
+        approx.rows.len()
+    );
     for row in truth.rows.iter().take(3) {
         let key = &row[0];
         let t = row[1].as_f64().unwrap_or(f64::NAN);

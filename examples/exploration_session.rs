@@ -19,10 +19,12 @@ fn main() {
     // Person queries share join edges with the movie workload, so their
     // deviation certainty is moderate — lower the drift gate accordingly
     // (the paper's 0.8 default suits fully-alien workloads).
-    let mut session_cfg = SessionConfig::default();
-    session_cfg.drift_confidence = 0.55;
-    let mut session = Session::new(&db, model, session_cfg)
-        .expect("session materialises the approximation set");
+    let session_cfg = SessionConfig {
+        drift_confidence: 0.55,
+        ..SessionConfig::default()
+    };
+    let mut session =
+        Session::new(&db, model, session_cfg).expect("session materialises the approximation set");
     println!(
         "session ready: approximation set holds {} tuples\n",
         session.subset.total_rows()

@@ -17,12 +17,18 @@ fn main() {
     let joins = asqp::core::detect_joins(&db);
     println!("discovered join edges:");
     for e in &joins {
-        println!("  {}.{} -> {}.{}", e.from_table, e.from_col, e.to_table, e.to_col);
+        println!(
+            "  {}.{} -> {}.{}",
+            e.from_table, e.from_col, e.to_table, e.to_col
+        );
     }
 
     // Round 0: train purely on synthesised queries.
     let synthetic = synthesize_workload(&db, 30, 5);
-    println!("\nsynthesised {} statistics-driven queries; training...", synthetic.len());
+    println!(
+        "\nsynthesised {} statistics-driven queries; training...",
+        synthetic.len()
+    );
     let cfg = AsqpConfig::light(400, 50).with_seed(5);
     let mut model = train(&db, &synthetic, &cfg).expect("training succeeds");
 

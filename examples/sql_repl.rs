@@ -21,8 +21,8 @@ fn main() {
         db = asqp::data::imdb::generate(Scale::Small, 7);
     } else {
         for path in &args {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let name = std::path::Path::new(path)
                 .file_stem()
                 .and_then(|s| s.to_str())
@@ -75,7 +75,10 @@ fn main() {
                 println!("issue a few queries first — they become the training workload");
                 continue;
             }
-            println!("training ASQP-RL on your {} session queries (k = {k})...", history.len());
+            println!(
+                "training ASQP-RL on your {} session queries (k = {k})...",
+                history.len()
+            );
             let cfg = AsqpConfig::light(k, 50).with_seed(7);
             match train(&db, &Workload::uniform(history.clone()), &cfg) {
                 Ok(model) => match model.materialize(&db, None) {
@@ -139,9 +142,17 @@ fn main() {
                 println!(
                     "({} rows{} in {:.1?}{})",
                     rs.rows.len(),
-                    if rs.rows.len() > shown { ", 20 shown" } else { "" },
+                    if rs.rows.len() > shown {
+                        ", 20 shown"
+                    } else {
+                        ""
+                    },
                     started.elapsed(),
-                    if approx.is_some() { ", approximation set" } else { "" }
+                    if approx.is_some() {
+                        ", approximation set"
+                    } else {
+                        ""
+                    }
                 );
                 history.push(query);
             }

@@ -1,8 +1,8 @@
 //! End-to-end integration: the full ASQP-RL pipeline against its problem
 //! statement — train, materialise, score, route, fine-tune.
 
-use asqp::prelude::*;
 use asqp::core::{per_query_fractions, AnswerabilityEstimator, FullCounts};
+use asqp::prelude::*;
 use std::collections::BTreeMap;
 
 fn quick_cfg(k: usize, f: usize, seed: u64) -> AsqpConfig {
@@ -91,9 +91,11 @@ fn session_end_to_end_with_fine_tune() {
     let db = asqp::data::imdb::generate(Scale::Tiny, 4);
     let workload = asqp::data::imdb::workload(12, 4);
     let model = train(&db, &workload, &quick_cfg(80, 20, 4)).unwrap();
-    let mut cfg = SessionConfig::default();
-    cfg.drift_confidence = 0.5;
-    cfg.drift_trigger = 2;
+    let cfg = SessionConfig {
+        drift_confidence: 0.5,
+        drift_trigger: 2,
+        ..SessionConfig::default()
+    };
     let mut session = Session::new(&db, model, cfg).unwrap();
 
     for q in &workload.queries {
@@ -117,10 +119,7 @@ fn budget_is_respected_across_scales() {
     for k in [30usize, 100, 300] {
         let model = train(&db, &workload, &quick_cfg(k, 20, 5)).unwrap();
         let total: usize = model.selection(None).values().map(Vec::len).sum();
-        assert!(
-            total <= k,
-            "selection of {total} tuples exceeds budget {k}"
-        );
+        assert!(total <= k, "selection of {total} tuples exceeds budget {k}");
     }
 }
 

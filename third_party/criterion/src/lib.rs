@@ -1,0 +1,194 @@
+//! Vendored offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Covers the API surface the workspace's benches use: `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup::
+//! {sample_size, bench_function, finish}` and `Bencher::iter`.
+//!
+//! Measurement model: after a short warm-up, each sample runs the closure
+//! enough times for the sample to take ~2 ms, and `sample_size` samples are
+//! collected (capped by a per-benchmark time budget). The min / median / max
+//! per-iteration times are printed in criterion's familiar
+//! `name  time: [lo mid hi]` layout so existing tooling that greps bench
+//! output keeps working. No statistical analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+const BENCH_BUDGET: Duration = Duration::from_secs(5);
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards harness args such as `--bench`; the first
+        // non-flag argument (if any) is treated as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+            filter: self.filter.clone(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &b.samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    /// Per-iteration time of each collected sample, in seconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the budget elapses, tracking per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters_per_sample =
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+
+        let bench_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if bench_start.elapsed() > BENCH_BUDGET && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} time: [no samples]");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = sorted[0];
+    let mid = sorted[sorted.len() / 2];
+    let hi = sorted[sorted.len() - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(mid),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)` — a function running each
+/// target against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, ...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Re-export shim: older criterion exposed its own `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_picks_unit() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

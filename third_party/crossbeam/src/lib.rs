@@ -1,0 +1,63 @@
+//! Vendored offline stand-in for [crossbeam](https://docs.rs/crossbeam),
+//! providing only `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (available since Rust 1.63, well under the workspace MSRV).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `crossbeam::thread::Scope`. Spawn closures receive a dummy
+    /// `&()` in place of crossbeam's nested-scope handle, so existing
+    /// `scope.spawn(move |_| ...)` call sites compile unchanged.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&()))
+        }
+    }
+
+    /// Like crossbeam's `scope`: returns `Err` with the panic payload if the
+    /// scope body (or an unjoined child) panicked, instead of unwinding.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join() {
+            let data = [1, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<i64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn panics_become_err() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join()
+            });
+            // The child panic is captured by join(); the scope itself is Ok.
+            assert!(r.unwrap().is_err());
+        }
+    }
+}

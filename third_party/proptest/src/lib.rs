@@ -1,0 +1,287 @@
+//! Vendored offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! Implements the subset of the API this workspace uses: the `proptest!`
+//! macro (with an optional `#![proptest_config(..)]` header), `prop_assert!`
+//! / `prop_assert_eq!`, integer/float range strategies, strategy tuples,
+//! `collection::vec`, `option::of` and `any::<T>()`.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! cases are sampled from a deterministic per-test RNG (seeded from the test
+//! name), and assertion failures panic with the offending case index so runs
+//! are reproducible.
+
+use rand::SeedableRng;
+
+pub mod test_runner {
+    /// Run-count configuration, mirroring proptest's type of the same name.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// RNG handed to strategies; deterministic per (test name, case index).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Seed a case RNG from the test name and case index (FNV-1a over the name).
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values. No shrinking in this stand-in.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rand::Rng::random_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+    /// `any::<T>()` support: full-domain sampling for primitives.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any::new()
+        }
+    }
+
+    macro_rules! any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::random(rng)
+                }
+            }
+        )*};
+    }
+    any_strategy!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// Full-domain strategy for a primitive type, as in `any::<bool>()`.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any::new()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: a Vec whose length is drawn from the range.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() {
+                0
+            } else {
+                rand::Rng::random_range(rng, self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)`: None half the time, otherwise Some(inner sample).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::random_bool(rng, 0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors proptest's `prelude::prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// The proptest! block: an optional `#![proptest_config(..)]` header followed
+/// by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@run $cfg:expr;) => {};
+    (@run $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Assertion that reports the failing expression; panics (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest case failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::case_rng("x", 3);
+        let mut b = crate::case_rng("x", 3);
+        let ra: u64 = rand::Rng::random(&mut a);
+        let rb: u64 = rand::Rng::random(&mut b);
+        assert_eq!(ra, rb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, v in prop::collection::vec(0usize..5, 0..9)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(v.len() < 9);
+            for e in &v {
+                prop_assert!(*e < 5, "element {} out of range", e);
+            }
+        }
+
+        #[test]
+        fn option_and_any(o in prop::option::of(0u32..4), b in any::<bool>()) {
+            if let Some(x) = o {
+                prop_assert!(x < 4);
+            }
+            let _ = b;
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! deliberately small serialization framework under the `serde` names the
+//! workspace imports. The data model is a single JSON-shaped tree
+//! ([`Content`]); [`Serialize`] maps a value into it and [`Deserialize`]
+//! back out. The companion `serde_derive` crate provides the
+//! `#[derive(Serialize, Deserialize)]` macros (honouring `#[serde(skip)]`),
+//! and `serde_json` renders/parses the tree as JSON text.
+//!
+//! Not a wire-compatible serde: only the API surface this workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order. Rendered as a JSON object when
+    /// every key is a string, as an array of `[key, value]` pairs otherwise.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view with lossless numeric coercions.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(i) => Some(*i),
+            Content::U64(u) => i64::try_from(*u).ok(),
+            Content::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::I64(i) => Some(*i as f64),
+            Content::U64(u) => Some(*u as f64),
+            Content::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field in a serialized map (derive-macro helper).
+pub fn de_field<T: Deserialize>(map: &[(Content, Content)], name: &str) -> Result<T, DeError> {
+    let found = map
+        .iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name));
+    match found {
+        Some((_, v)) => T::from_content(v),
+        None => Err(DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+// --- primitive impls -----------------------------------------------------
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let i = c.as_i64().ok_or_else(|| {
+                    DeError::new(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::new(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_ser_de_uint64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => {
+                        let i = c.as_i64().ok_or_else(|| {
+                            DeError::new(concat!("expected integer for ", stringify!($t)))
+                        })?;
+                        <$t>::try_from(i).map_err(|_| DeError::new("integer out of range"))
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_uint64!(u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(f64::NAN), // non-finite floats render as null
+            _ => c
+                .as_f64()
+                .ok_or_else(|| DeError::new("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// --- containers ----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::new("expected tuple sequence"))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if s.len() != LEN {
+                    return Err(DeError::new("tuple length mismatch"));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        map_pairs(c)?
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: order pairs by their rendered key.
+        let mut pairs: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        pairs.sort_by_key(|a| content_sort_key(&a.0));
+        Content::Map(pairs)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        map_pairs(c)?
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+/// Accept either a `Map` or a sequence of `[key, value]` pairs.
+fn map_pairs(c: &Content) -> Result<impl Iterator<Item = (&Content, &Content)>, DeError> {
+    match c {
+        Content::Map(m) => Ok(MapPairs::Map(m.iter())),
+        Content::Seq(s) => Ok(MapPairs::Seq(s.iter())),
+        _ => Err(DeError::new("expected map")),
+    }
+}
+
+enum MapPairs<'a> {
+    Map(std::slice::Iter<'a, (Content, Content)>),
+    Seq(std::slice::Iter<'a, Content>),
+}
+
+impl<'a> Iterator for MapPairs<'a> {
+    type Item = (&'a Content, &'a Content);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            MapPairs::Map(it) => it.next().map(|(k, v)| (k, v)),
+            MapPairs::Seq(it) => match it.next() {
+                Some(Content::Seq(pair)) if pair.len() == 2 => Some((&pair[0], &pair[1])),
+                _ => None,
+            },
+        }
+    }
+}
+
+fn content_sort_key(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(u32::from_content(&7u32.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u32, String)>::from_content(&c).unwrap(), v);
+
+        let o: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_content(&o.to_content()).unwrap(), None);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_string(), 3i64);
+        let c = m.to_content();
+        assert_eq!(
+            std::collections::BTreeMap::<String, i64>::from_content(&c).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn float_as_int_coerces() {
+        assert_eq!(i64::from_content(&Content::F64(2.0)).unwrap(), 2);
+        assert!(i64::from_content(&Content::F64(2.5)).is_err());
+        assert_eq!(f64::from_content(&Content::I64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let m = vec![(Content::Str("a".into()), Content::I64(1))];
+        assert_eq!(de_field::<i64>(&m, "a").unwrap(), 1);
+        assert!(de_field::<i64>(&m, "b").is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! No `syn`/`quote` (the build environment is offline), so the input is
+//! parsed directly from `proc_macro::TokenTree`s. Supported shapes — which
+//! cover every type this workspace derives on:
+//!
+//! * structs with named fields (plus `#[serde(skip)]`: skipped on
+//!   serialize, `Default::default()` on deserialize)
+//! * enums with unit, tuple and struct variants
+//! * no generic parameters
+//!
+//! Encoding: struct → map of field name → value; unit variant → its name as
+//! a string; tuple variant → `{name: value}` (arity 1) or `{name: [values]}`;
+//! struct variant → `{name: {fields}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to the `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum found"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored stub");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => {
+                panic!("serde_derive: `{name}` has no braced body (tuple/unit structs unsupported)")
+            }
+        }
+    };
+
+    if kind == "struct" {
+        Input::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Input::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Parse named fields from a brace-group stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("skip") {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = tokens.get(i) else {
+            break;
+        };
+        let name = fname.to_string();
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Type tokens until a comma at angle-bracket depth 0. Commas inside
+        // parenthesised groups are invisible here (they live in sub-groups),
+        // but `<...>` is plain punctuation and needs explicit depth tracking.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parse enum variants from a brace-group stream.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (doc comments etc.).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(vname)) = tokens.get(i) else {
+            break;
+        };
+        let name = vname.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Count top-level comma-separated type positions in a tuple-variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+// --- code generation -----------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "m.push((::serde::Content::Str(\"{0}\".to_string()), \
+             ::serde::Serialize::to_content(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n\
+         let mut m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n\
+         {pushes}\
+         let _ = &mut m;\n\
+         ::serde::Content::Map(m)\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!("{0}: ::serde::de_field(m, \"{0}\")?,\n", f.name));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let m = c.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}\"))?;\n\
+         let _ = m;\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+            )),
+            VariantKind::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(a0) => ::serde::Content::Map(vec![(\
+                 ::serde::Content::Str(\"{vn}\".to_string()), \
+                 ::serde::Serialize::to_content(a0))]),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("a{k}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                     ::serde::Content::Str(\"{vn}\".to_string()), \
+                     ::serde::Content::Seq(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::serde::Content::Str(\"{0}\".to_string()), \
+                             ::serde::Serialize::to_content({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\
+                     ::serde::Content::Str(\"{vn}\".to_string()), \
+                     ::serde::Content::Map(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_content(v)?)),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_content(&s[{k}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let s = v.as_seq().ok_or_else(|| ::serde::DeError::new(\"expected seq for {name}::{vn}\"))?;\n\
+                     if s.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::new(\"arity mismatch for {name}::{vn}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: ::std::default::Default::default()", f.name)
+                        } else {
+                            format!("{0}: ::serde::de_field(fm, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let fm = v.as_map().ok_or_else(|| ::serde::DeError::new(\"expected map for {name}::{vn}\"))?;\n\
+                     let _ = fm;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                     }}\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match c {{\n\
+         ::serde::Content::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown unit variant {{other}} for {name}\"))),\n\
+         }},\n\
+         ::serde::Content::Map(pairs) if pairs.len() == 1 => {{\n\
+         let (k, v) = &pairs[0];\n\
+         let _ = v;\n\
+         let k = k.as_str().ok_or_else(|| ::serde::DeError::new(\"expected string variant key\"))?;\n\
+         match k {{\n\
+         {payload_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant {{other}} for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::DeError::new(\"expected variant encoding for {name}\")),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
