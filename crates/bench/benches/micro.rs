@@ -4,16 +4,13 @@
 //! and SPN estimation.
 
 use asqp_baselines::Spn;
+use asqp_bench::workloads;
 use asqp_core::{preprocess, CoverageTracker, PreprocessConfig};
 use asqp_data::Scale;
-use asqp_db::{
-    execute_with_options, Database, ExecMode, ExecOptions, Query, Schema, Value, ValueType,
-};
+use asqp_db::{execute_with_options, Database, ExecMode, ExecOptions, Query};
 use asqp_embed::Embedder;
 use asqp_rl::{AgentKind, Environment, ToyCoverageEnv, Trainer, TrainerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -57,83 +54,6 @@ fn bench_query_execution(c: &mut Criterion) {
     g.finish();
 }
 
-/// A star schema sized for the vectorized-executor benches: a 100K-row fact
-/// table (`id` clustered, everything else shuffled) plus two dimensions.
-fn star_db_100k() -> Database {
-    const REGIONS: &[&str] = &["na", "eu", "ap", "sa", "af", "oc", "me", "in"];
-    const CATS: &[&str] = &[
-        "toys", "books", "games", "tools", "food", "garden", "music", "sport", "auto", "home",
-        "tech", "art",
-    ];
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut db = Database::new();
-
-    let users = db
-        .create_table(
-            "users",
-            Schema::build(&[
-                ("id", ValueType::Int),
-                ("region", ValueType::Str),
-                ("age", ValueType::Int),
-            ]),
-        )
-        .unwrap();
-    for i in 0..1_000i64 {
-        users
-            .push_row(&[
-                Value::Int(i),
-                Value::Str(REGIONS[rng.random_range(0..REGIONS.len())].into()),
-                Value::Int(rng.random_range(18i64..90)),
-            ])
-            .unwrap();
-    }
-
-    let items = db
-        .create_table(
-            "items",
-            Schema::build(&[
-                ("id", ValueType::Int),
-                ("cat", ValueType::Str),
-                ("price", ValueType::Float),
-            ]),
-        )
-        .unwrap();
-    for i in 0..2_000i64 {
-        items
-            .push_row(&[
-                Value::Int(i),
-                Value::Str(CATS[rng.random_range(0..CATS.len())].into()),
-                Value::Float(rng.random_range(1.0..500.0)),
-            ])
-            .unwrap();
-    }
-
-    let events = db
-        .create_table(
-            "events",
-            Schema::build(&[
-                ("id", ValueType::Int),
-                ("user_id", ValueType::Int),
-                ("item_id", ValueType::Int),
-                ("qty", ValueType::Int),
-                ("amount", ValueType::Float),
-            ]),
-        )
-        .unwrap();
-    for i in 0..100_000i64 {
-        events
-            .push_row(&[
-                Value::Int(i),
-                Value::Int(rng.random_range(0i64..1_000)),
-                Value::Int(rng.random_range(0i64..2_000)),
-                Value::Int(rng.random_range(0i64..100)),
-                Value::Float(rng.random_range(0.0..100.0)),
-            ])
-            .unwrap();
-    }
-    db
-}
-
 fn run_opts(db: &Database, q: &Query, opts: ExecOptions) -> usize {
     execute_with_options(db, q, opts).unwrap().result.rows.len()
 }
@@ -141,7 +61,7 @@ fn run_opts(db: &Database, q: &Query, opts: ExecOptions) -> usize {
 /// Vectorized vs row-oriented executor on the paths DESIGN.md §5 entry 6
 /// names: selective scans, zone-map pruning and the sharded join probe.
 fn bench_vectorized_exec(c: &mut Criterion) {
-    let db = star_db_100k();
+    let db = workloads::star_db(100_000);
     let vec_opts = ExecOptions::default();
     let vec_seq = ExecOptions {
         mode: ExecMode::Vectorized,
@@ -154,10 +74,7 @@ fn bench_vectorized_exec(c: &mut Criterion) {
     let row_opts = ExecOptions::row_oriented();
 
     // Selective conjunctive scan over the 100K-row fact table (~3% pass).
-    let scan_q = asqp_db::sql::parse(
-        "SELECT e.id, e.amount FROM events e WHERE e.qty BETWEEN 10 AND 12 AND e.amount < 80.0",
-    )
-    .unwrap();
+    let scan_q = workloads::scan_query();
     let mut g = c.benchmark_group("scan");
     g.sample_size(20);
     g.bench_function("vectorized_vs_row/vectorized", |b| {
@@ -170,12 +87,8 @@ fn bench_vectorized_exec(c: &mut Criterion) {
     // Zone-map pruning: the same narrow range over the clustered `id`
     // column skips ~98% of morsels; over the shuffled `qty`-correlated
     // `amount` column nothing can be skipped.
-    let clustered_q =
-        asqp_db::sql::parse("SELECT e.user_id FROM events e WHERE e.id BETWEEN 40000 AND 41000")
-            .unwrap();
-    let unclustered_q =
-        asqp_db::sql::parse("SELECT e.user_id FROM events e WHERE e.amount BETWEEN 40.0 AND 40.4")
-            .unwrap();
+    let clustered_q = workloads::clustered_query(100_000);
+    let unclustered_q = workloads::unclustered_query();
     g.bench_function("zonemap_prune/clustered", |b| {
         b.iter(|| black_box(run_opts(&db, &clustered_q, vec_opts)))
     });
@@ -185,11 +98,7 @@ fn bench_vectorized_exec(c: &mut Criterion) {
     g.finish();
 
     // Three-table star join with a 100K-row probe side.
-    let join_q = asqp_db::sql::parse(
-        "SELECT u.region, i.cat, e.amount FROM events e, users u, items i \
-         WHERE e.user_id = u.id AND e.item_id = i.id AND e.qty < 5",
-    )
-    .unwrap();
+    let join_q = workloads::join_query();
     let mut g = c.benchmark_group("join");
     g.sample_size(15);
     g.bench_function("parallel_probe/vectorized_sharded", |b| {

@@ -1,0 +1,275 @@
+//! `bench_report` — the CI perf-regression harness.
+//!
+//! Runs the gated executor benches (scan / zone-map / join), plus
+//! informational RL, session and preprocess benches, with a
+//! [`MemoryRecorder`] installed so the
+//! report carries telemetry counters (morsels pruned, routing mix, rollout
+//! throughput) next to the medians. Output is machine-readable JSON,
+//! diffable against a checked-in baseline:
+//!
+//! ```text
+//! bench_report [--reduced] [--baseline <path>] [--tolerance <x>] [--out <path>]
+//! ```
+//!
+//! * `--reduced`    CI-sized dataset (20K-row fact table, fewer samples)
+//! * `--baseline`   compare against this report; exit 1 on regression
+//! * `--tolerance`  gate multiplier (default 1.5 = fail above 1.5×)
+//! * `--out`        where to write the report (default `results/bench_report.json`)
+
+use asqp_bench::gate::{compare, BenchReport, SCHEMA_VERSION};
+use asqp_bench::measure::{calibration_ns, measure, BenchResult};
+use asqp_bench::workloads;
+use asqp_core::{preprocess, AsqpConfig, PreprocessConfig, Session, SessionConfig};
+use asqp_db::{execute_with_options, Database, ExecMode, ExecOptions, Query};
+use asqp_rl::{AgentKind, Environment, ToyCoverageEnv, Trainer, TrainerConfig};
+use asqp_telemetry::MemoryRecorder;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    reduced: bool,
+    baseline: Option<String>,
+    tolerance: f64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        reduced: false,
+        baseline: None,
+        tolerance: 1.5,
+        out: "results/bench_report.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reduced" => args.reduced = true,
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?);
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                args.tolerance = v.parse().map_err(|_| format!("invalid tolerance '{v}'"))?;
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--help" | "-h" => {
+                return Err("usage: bench_report [--reduced] [--baseline <path>] \
+                     [--tolerance <x>] [--out <path>]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_exec(db: &Database, q: &Query, opts: ExecOptions) -> usize {
+    execute_with_options(db, q, opts).unwrap().result.rows.len()
+}
+
+fn exec_benches(fact_rows: usize, samples: usize, out: &mut Vec<BenchResult>) {
+    let db = workloads::star_db(fact_rows);
+    let vec_opts = ExecOptions::default();
+    let vec_seq = ExecOptions {
+        mode: ExecMode::Vectorized,
+        shards: 1,
+    };
+    let vec_sharded = ExecOptions {
+        mode: ExecMode::Vectorized,
+        shards: 4,
+    };
+    let row_opts = ExecOptions::row_oriented();
+
+    let scan_q = workloads::scan_query();
+    let clustered_q = workloads::clustered_query(fact_rows);
+    let unclustered_q = workloads::unclustered_query();
+    let join_q = workloads::join_query();
+    let warmup = (samples / 4).max(2);
+
+    out.push(measure("scan/vectorized", warmup, samples, || {
+        run_exec(&db, &scan_q, vec_opts)
+    }));
+    out.push(measure("scan/row_oriented", warmup, samples, || {
+        run_exec(&db, &scan_q, row_opts)
+    }));
+    out.push(measure("zonemap/clustered", warmup, samples, || {
+        run_exec(&db, &clustered_q, vec_opts)
+    }));
+    out.push(measure("zonemap/unclustered", warmup, samples, || {
+        run_exec(&db, &unclustered_q, vec_opts)
+    }));
+    out.push(measure("join/sharded", warmup, samples, || {
+        run_exec(&db, &join_q, vec_sharded)
+    }));
+    out.push(measure("join/sequential", warmup, samples, || {
+        run_exec(&db, &join_q, vec_seq)
+    }));
+    out.push(measure("join/row_oriented", warmup, samples, || {
+        run_exec(&db, &join_q, row_opts)
+    }));
+}
+
+fn rl_bench(samples: usize, out: &mut Vec<BenchResult>) {
+    let env = ToyCoverageEnv::new(vec![0.5; 64], 8);
+    let cfg = TrainerConfig {
+        agent: AgentKind::Ppo,
+        num_workers: 1,
+        steps_per_worker: 64,
+        minibatch_size: 32,
+        update_epochs: 2,
+        hidden: vec![64],
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, env.state_dim(), env.action_count());
+    out.push(measure("rl/ppo_iteration", 1, samples, || {
+        trainer.train_iteration(&env).mean_episode_reward
+    }));
+}
+
+fn quick_asqp_config() -> AsqpConfig {
+    let mut cfg = AsqpConfig::full(60, 20);
+    cfg.preprocess.n_representatives = 6;
+    cfg.preprocess.max_actions = 64;
+    cfg.preprocess.per_query_cap = 40;
+    cfg.trainer.num_workers = 2;
+    cfg.trainer.steps_per_worker = 64;
+    cfg.trainer.hidden = vec![32];
+    cfg.iterations = 6;
+    cfg
+}
+
+fn session_bench(samples: usize, out: &mut Vec<BenchResult>) {
+    let db = asqp_data::imdb::generate(asqp_data::Scale::Tiny, 1);
+    let w = asqp_data::imdb::workload(12, 1);
+    let model = asqp_core::train(&db, &w, &quick_asqp_config()).expect("training succeeds");
+    let cfg = SessionConfig {
+        answer_threshold: 0.25,
+        auto_fine_tune: false,
+        ..SessionConfig::default()
+    };
+    let mut session = Session::new(&db, model, cfg).expect("session builds");
+    out.push(measure("session/query_mix", 1, samples, || {
+        let mut rows = 0usize;
+        for q in &w.queries {
+            rows += session.query(q).unwrap().0.rows.len();
+        }
+        rows
+    }));
+}
+
+fn preprocess_bench(samples: usize, out: &mut Vec<BenchResult>) {
+    let db = asqp_data::imdb::generate(asqp_data::Scale::Tiny, 1);
+    let w = asqp_data::imdb::workload(16, 1);
+    let cfg = PreprocessConfig::default();
+    out.push(measure("preprocess/tiny", 1, samples, || {
+        preprocess(&db, &w, &cfg).unwrap().action_space.len()
+    }));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let recorder = Arc::new(MemoryRecorder::new());
+    asqp_telemetry::install(recorder.clone());
+
+    let (fact_rows, exec_samples, slow_samples) = if args.reduced {
+        (20_000, 15, 3)
+    } else {
+        (100_000, 25, 5)
+    };
+
+    eprintln!(
+        "bench_report: fact_rows={fact_rows} samples={exec_samples} reduced={}",
+        args.reduced
+    );
+    let calibration = calibration_ns();
+    let mut benches: Vec<BenchResult> = Vec::new();
+    exec_benches(fact_rows, exec_samples, &mut benches);
+    rl_bench(slow_samples, &mut benches);
+    session_bench(slow_samples, &mut benches);
+    preprocess_bench(slow_samples, &mut benches);
+
+    asqp_telemetry::uninstall();
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        reduced: args.reduced,
+        calibration_ns: calibration,
+        benches: benches.into_iter().map(Into::into).collect(),
+        telemetry: recorder.report(),
+    };
+
+    for b in &report.benches {
+        eprintln!(
+            "  {:<24} median {:>12} ns  ({} samples)",
+            b.name, b.median_ns, b.samples
+        );
+    }
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, report.to_json_pretty()) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[saved {}]", args.out);
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare(&baseline, &report, args.tolerance) {
+            Ok(outcome) => {
+                for l in &outcome.lines {
+                    eprintln!(
+                        "  gate {:<24} {:>6.2}x {}",
+                        l.name,
+                        l.ratio,
+                        if l.regressed {
+                            "REGRESSED"
+                        } else if l.gated {
+                            "ok"
+                        } else {
+                            "(info)"
+                        }
+                    );
+                }
+                if !outcome.passed() {
+                    eprintln!("perf gate FAILED (tolerance {:.2}x):", args.tolerance);
+                    for f in outcome.failures() {
+                        eprintln!("  {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("perf gate passed (tolerance {:.2}x)", args.tolerance);
+            }
+            Err(e) => {
+                eprintln!("cannot compare reports: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

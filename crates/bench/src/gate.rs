@@ -1,0 +1,266 @@
+//! The CI performance-regression gate: a machine-readable bench report
+//! (medians + telemetry counters) that can be diffed against a checked-in
+//! baseline with a configurable tolerance.
+//!
+//! Cross-machine comparisons rescale by the calibration workload
+//! ([`crate::measure::calibration_ns`]): a baseline recorded on hardware
+//! 2× faster than CI would otherwise flag every bench as a regression.
+//! Only benches whose name starts with a gated prefix (`scan`, `join`,
+//! `zonemap`) fail the gate — model-training benches are tracked in the
+//! report but too noisy to gate on.
+
+use crate::measure::BenchResult;
+use asqp_telemetry::TelemetryReport;
+use serde::{Deserialize, Serialize};
+
+/// Bench names gated by [`compare`]; everything else is informational.
+pub const GATED_PREFIXES: &[&str] = &["scan", "join", "zonemap"];
+
+/// Current report schema; bump when fields change incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One bench entry in the persisted report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    pub name: String,
+    pub median_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub samples: u64,
+}
+
+impl From<BenchResult> for BenchEntry {
+    fn from(r: BenchResult) -> BenchEntry {
+        BenchEntry {
+            name: r.name,
+            median_ns: r.median_ns,
+            min_ns: r.min_ns,
+            max_ns: r.max_ns,
+            samples: r.samples,
+        }
+    }
+}
+
+/// The full machine-readable report written to `results/bench_report.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    /// True when produced with `--reduced` (the CI-sized dataset).
+    pub reduced: bool,
+    /// Median of the deterministic calibration workload on this machine.
+    pub calibration_ns: u64,
+    pub benches: Vec<BenchEntry>,
+    /// Aggregated spans/counters/gauges/histograms captured while the
+    /// benches ran (zone-map pruning rates, RL throughput, routing mix).
+    pub telemetry: TelemetryReport,
+}
+
+impl BenchReport {
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    pub fn from_json(s: &str) -> Result<BenchReport, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid bench report: {e}"))
+    }
+
+    pub fn bench(&self, name: &str) -> Option<&BenchEntry> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+}
+
+/// One gate verdict for a single bench.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    pub name: String,
+    pub baseline_ns: u64,
+    /// Current median rescaled into the baseline machine's time units.
+    pub scaled_current_ns: u64,
+    pub ratio: f64,
+    pub gated: bool,
+    pub regressed: bool,
+}
+
+/// The outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    pub lines: Vec<GateLine>,
+    /// Gated benches present in the baseline but missing from the run.
+    pub missing: Vec<String>,
+    pub tolerance: f64,
+}
+
+impl GateOutcome {
+    /// True when no gated bench regressed and none went missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.lines.iter().all(|l| !l.regressed)
+    }
+
+    pub fn failures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .lines
+            .iter()
+            .filter(|l| l.regressed)
+            .map(|l| {
+                format!(
+                    "{}: {:.2}x baseline ({} ns -> {} ns scaled, tolerance {:.2}x)",
+                    l.name, l.ratio, l.baseline_ns, l.scaled_current_ns, self.tolerance
+                )
+            })
+            .collect();
+        out.extend(
+            self.missing
+                .iter()
+                .map(|n| format!("{n}: missing from run")),
+        );
+        out
+    }
+}
+
+fn is_gated(name: &str) -> bool {
+    GATED_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Compare `current` against `baseline` with a multiplicative `tolerance`
+/// (1.5 = fail when a gated median exceeds 1.5× its calibrated baseline).
+/// Returns `Err` when the reports are not comparable at all.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<GateOutcome, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{} vs current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.reduced != current.reduced {
+        return Err(format!(
+            "dataset mismatch: baseline reduced={} vs current reduced={}",
+            baseline.reduced, current.reduced
+        ));
+    }
+    if baseline.calibration_ns == 0 || current.calibration_ns == 0 {
+        return Err("calibration_ns must be non-zero in both reports".into());
+    }
+    let scale = baseline.calibration_ns as f64 / current.calibration_ns as f64;
+
+    let mut outcome = GateOutcome {
+        tolerance,
+        ..GateOutcome::default()
+    };
+    for base in &baseline.benches {
+        let Some(cur) = current.bench(&base.name) else {
+            if is_gated(&base.name) {
+                outcome.missing.push(base.name.clone());
+            }
+            continue;
+        };
+        let scaled = (cur.median_ns as f64 * scale).round() as u64;
+        let ratio = if base.median_ns == 0 {
+            1.0
+        } else {
+            scaled as f64 / base.median_ns as f64
+        };
+        let gated = is_gated(&base.name);
+        outcome.lines.push(GateLine {
+            name: base.name.clone(),
+            baseline_ns: base.median_ns,
+            scaled_current_ns: scaled,
+            ratio,
+            gated,
+            regressed: gated && ratio > tolerance,
+        });
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, median_ns: u64) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            median_ns,
+            min_ns: median_ns / 2,
+            max_ns: median_ns * 2,
+            samples: 10,
+        }
+    }
+
+    fn report(cal: u64, benches: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            reduced: true,
+            calibration_ns: cal,
+            benches,
+            telemetry: TelemetryReport::default(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(1_000, vec![entry("scan/vectorized", 500)]);
+        let out = compare(&r, &r, 1.5).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.lines.len(), 1);
+        assert!((out.lines[0].ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = report(1_000, vec![entry("scan/vectorized", 500)]);
+        let cur = report(1_000, vec![entry("scan/vectorized", 900)]);
+        let out = compare(&base, &cur, 1.5).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.failures().len(), 1);
+    }
+
+    #[test]
+    fn ungated_benches_never_fail() {
+        let base = report(1_000, vec![entry("rl/ppo_iteration", 500)]);
+        let cur = report(1_000, vec![entry("rl/ppo_iteration", 5_000)]);
+        let out = compare(&base, &cur, 1.5).unwrap();
+        assert!(out.passed(), "rl benches are informational only");
+        assert!(!out.lines[0].gated);
+    }
+
+    #[test]
+    fn calibration_rescales_cross_machine() {
+        // Baseline machine is 2x faster (calibration 1000 vs 2000): a raw
+        // 900ns current median is 450ns in baseline units — no regression.
+        let base = report(1_000, vec![entry("join/sharded", 500)]);
+        let cur = report(2_000, vec![entry("join/sharded", 900)]);
+        let out = compare(&base, &cur, 1.5).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.lines[0].scaled_current_ns, 450);
+    }
+
+    #[test]
+    fn missing_gated_bench_fails() {
+        let base = report(1_000, vec![entry("zonemap/clustered", 500)]);
+        let cur = report(1_000, vec![]);
+        let out = compare(&base, &cur, 1.5).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.missing, vec!["zonemap/clustered".to_string()]);
+    }
+
+    #[test]
+    fn mismatched_datasets_are_not_comparable() {
+        let base = report(1_000, vec![]);
+        let mut cur = report(1_000, vec![]);
+        cur.reduced = false;
+        assert!(compare(&base, &cur, 1.5).is_err());
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(1_234, vec![entry("scan/vectorized", 42)]);
+        let back = BenchReport::from_json(&r.to_json_pretty()).unwrap();
+        assert_eq!(back.calibration_ns, 1_234);
+        assert_eq!(back.benches, r.benches);
+        assert!(back.reduced);
+    }
+}

@@ -1,0 +1,110 @@
+//! A tiny self-contained measurement harness for the `bench_report`
+//! binary. Criterion is a dev-dependency (benches only), so the regression
+//! gate uses this instead: warmup + N timed samples → median, plus a
+//! deterministic calibration workload that lets the gate rescale medians
+//! recorded on a different machine.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark: monotonic-clock nanosecond statistics over
+/// `samples` runs (after `warmup` discarded runs).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub median_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub samples: u64,
+}
+
+/// Run `f` `warmup` times unmeasured, then `samples` times measured, and
+/// return median/min/max wall-clock nanoseconds. `f` returns a value that
+/// is black-boxed so the optimiser cannot elide the work.
+pub fn measure<T, F: FnMut() -> T>(
+    name: &str,
+    warmup: usize,
+    samples: usize,
+    mut f: F,
+) -> BenchResult {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let samples = samples.max(1);
+    let mut times: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    BenchResult {
+        name: name.to_string(),
+        median_ns: median_of_sorted(&times),
+        min_ns: times[0],
+        max_ns: *times.last().unwrap(),
+        samples: times.len() as u64,
+    }
+}
+
+fn median_of_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// A fixed, deterministic CPU workload (integer xorshift mixing) timed on
+/// this machine. Reports store its median so the regression gate can
+/// rescale a baseline recorded on different hardware:
+/// `scaled = median · baseline_cal / current_cal`.
+pub fn calibration_ns() -> u64 {
+    let mut times: Vec<u64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            let mut x: u64 = 0x9e3779b97f4a7c15;
+            for i in 0..2_000_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x = x.wrapping_add(i);
+            }
+            black_box(x);
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    median_of_sorted(&times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_stats() {
+        let r = measure("spin", 1, 9, || {
+            let mut s = 0u64;
+            for i in 0..10_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert_eq!(r.samples, 9);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.min_ns > 0, "a 10k-iteration loop cannot take 0ns");
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1, 3, 5]), 3);
+        assert_eq!(median_of_sorted(&[2, 4]), 3);
+    }
+
+    #[test]
+    fn calibration_is_nonzero() {
+        assert!(calibration_ns() > 0);
+    }
+}

@@ -10,6 +10,7 @@ use crate::preprocess::{preprocess, ActionSpace, PreprocessConfig, Preprocessed}
 use asqp_db::{Database, DbResult, Workload};
 use asqp_embed::Embedder;
 use asqp_rl::{ActorCritic, AgentKind, IterationStats, Trainer, TrainerConfig};
+use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -232,11 +233,14 @@ pub fn train(db: &Database, workload: &Workload, config: &AsqpConfig) -> DbResul
     let mut cfg = config.clone();
     cfg.preprocess.frame_size = cfg.frame_size;
 
+    let _train_span = telemetry::span("train");
+    let pre_span = telemetry::span("train.preprocess");
     let Preprocessed {
         action_space,
         embedder,
         train_embeddings,
     } = preprocess(db, workload, &cfg.preprocess)?;
+    drop(pre_span);
     let space = Arc::new(action_space);
 
     if space.is_empty() {
@@ -259,6 +263,7 @@ pub fn train(db: &Database, workload: &Workload, config: &AsqpConfig) -> DbResul
     use asqp_rl::Environment;
     let mut trainer = Trainer::new(cfg.trainer.clone(), env.state_dim(), env.action_count());
 
+    let rl_span = telemetry::span("train.rl");
     let mut history = Vec::with_capacity(cfg.iterations);
     let mut best = f32::NEG_INFINITY;
     let mut since_best = 0usize;
@@ -272,10 +277,13 @@ pub fn train(db: &Database, workload: &Workload, config: &AsqpConfig) -> DbResul
         } else {
             since_best += 1;
             if since_best >= cfg.early_stop_patience {
+                telemetry::counter("train.early_stops", 1);
                 break; // Algorithm 1: early stopping on plateau
             }
         }
     }
+    drop(rl_span);
+    telemetry::counter("train.iterations_run", history.len() as u64);
 
     Ok(TrainedModel {
         policy: trainer.policy.clone(),

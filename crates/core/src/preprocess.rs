@@ -22,6 +22,7 @@
 use crate::metric::MetricParams;
 use asqp_db::{CmpOp, Database, DbResult, Expr, Query, Value, Workload};
 use asqp_embed::{kmeans, Embedder};
+use asqp_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -283,15 +284,19 @@ pub fn preprocess(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
 
     // Aggregates in the workload are rewritten to SPJ (paper §3); then relax.
-    let spj: Vec<Query> = workload
-        .queries
-        .iter()
-        .map(|q| relax_query(&q.strip_aggregates(), cfg.relaxation))
-        .collect();
-    let relaxed = Workload::weighted(spj, workload.weights.clone());
+    let relaxed = {
+        let _s = telemetry::span("preprocess.relax");
+        let spj: Vec<Query> = workload
+            .queries
+            .iter()
+            .map(|q| relax_query(&q.strip_aggregates(), cfg.relaxation))
+            .collect();
+        Workload::weighted(spj, workload.weights.clone())
+    };
 
     // Representative selection on the relaxed queries; estimator embeddings
     // on the original queries (user queries arrive unrelaxed).
+    let reps_span = telemetry::span("preprocess.representatives");
     let (reps_all, _) =
         select_representatives(&relaxed, &embedder, cfg.n_representatives, cfg.seed);
     let train_embeddings: Vec<Vec<f32>> = workload
@@ -299,6 +304,9 @@ pub fn preprocess(
         .iter()
         .map(|q| embedder.embed_query(q))
         .collect();
+    drop(reps_span);
+
+    let actions_span = telemetry::span("preprocess.actions");
 
     // Execute representatives with lineage; drop empty-result reps (they
     // contribute score 1 for free and teach the policy nothing).
@@ -442,6 +450,12 @@ pub fn preprocess(
         for &t in ids {
             tuple_to_rows[t as usize].push(ri as u32);
         }
+    }
+    drop(actions_span);
+    if telemetry::enabled() {
+        telemetry::counter("preprocess.actions", actions.len() as u64);
+        telemetry::counter("preprocess.tuples", tuples.len() as u64);
+        telemetry::counter("preprocess.reps_kept", reps_kept.len() as u64);
     }
 
     Ok(Preprocessed {

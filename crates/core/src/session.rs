@@ -7,7 +7,9 @@ use crate::aggregates::approximate_aggregate;
 use crate::estimator::AnswerabilityEstimator;
 use crate::model::{fine_tune, TrainedModel};
 use asqp_db::{Database, DbResult, Query, ResultSet};
+use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Where an answer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,9 +92,15 @@ impl<'a> Session<'a> {
 
     /// Answer a query (Figure 1b): consult the estimator, route, and track
     /// drift. Aggregates answered from the subset are scale-corrected.
+    /// With a telemetry recorder installed, each call emits the route
+    /// decision and a subset-vs-full-DB latency observation.
     pub fn query(&mut self, q: &Query) -> DbResult<(ResultSet, AnswerSource)> {
+        let _query_span = telemetry::span("session.query");
+        let t0 = telemetry::enabled().then(Instant::now);
         self.stats.queries += 1;
+        telemetry::counter("session.queries", 1);
         let pred = self.estimator.predict(q);
+        telemetry::gauge("session.predicted_score", pred.score);
         let answerable = pred.score >= self.config.answer_threshold;
 
         if answerable {
@@ -102,6 +110,10 @@ impl<'a> Session<'a> {
             } else {
                 self.subset.execute(q)?
             };
+            telemetry::counter("session.route.subset", 1);
+            if let Some(t0) = t0 {
+                telemetry::observe_duration("session.latency.subset_ns", t0.elapsed());
+            }
             return Ok((rs, AnswerSource::ApproximationSet));
         }
 
@@ -113,10 +125,15 @@ impl<'a> Session<'a> {
         let deviation_certainty = 1.0 - pred.score;
         if deviation_certainty >= self.config.drift_confidence {
             self.drift_queries.push(q.clone());
+            telemetry::counter("session.drift.detected", 1);
         }
 
         self.stats.full_db_answers += 1;
         let rs = self.full_db.execute(q)?;
+        telemetry::counter("session.route.full_db", 1);
+        if let Some(t0) = t0 {
+            telemetry::observe_duration("session.latency.full_db_ns", t0.elapsed());
+        }
 
         if self.config.auto_fine_tune && self.drift_queries.len() >= self.config.drift_trigger {
             self.run_fine_tune()?;
@@ -129,6 +146,8 @@ impl<'a> Session<'a> {
         if self.drift_queries.is_empty() {
             return Ok(());
         }
+        let _ft_span = telemetry::span("session.fine_tune");
+        telemetry::counter("session.fine_tune.runs", 1);
         let drift = std::mem::take(&mut self.drift_queries);
         // Boost each drift query to the weight mass of the average original.
         let boost = 1.0 / self.model.train_workload.len().max(1) as f64;

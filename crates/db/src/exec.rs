@@ -10,7 +10,8 @@
 //! Two scan/probe implementations share this pipeline (see [`ExecMode`]):
 //! the default **vectorized** path compiles pushed-down conjuncts into typed
 //! column kernels evaluated over selection vectors on ~2048-row morsels with
-//! zone-map pruning ([`vector`]), and shards scans and hash-join probes
+//! zone-map pruning (the private `vector` module), and shards scans and
+//! hash-join probes
 //! across crossbeam scoped threads with deterministic in-order concatenation;
 //! the **row-oriented** path materialises one `Row` per candidate and is kept
 //! as a correctness oracle and benchmark baseline.
@@ -21,6 +22,7 @@ use crate::expr::{ColRef, Expr};
 use crate::query::{Query, SelectItem, TableRef};
 use crate::table::Table;
 use crate::value::{canonical_f64_bits, Row, Value};
+use asqp_telemetry as telemetry;
 use std::collections::HashMap;
 
 mod aggregate;
@@ -342,6 +344,9 @@ pub fn execute_with_options(
     query: &Query,
     opts: ExecOptions,
 ) -> DbResult<QueryOutput> {
+    // Telemetry is per-stage, never per-row: with no recorder installed
+    // each emission below is one relaxed atomic load.
+    let _exec_span = telemetry::span("db.execute");
     let layout = Layout::new(db, &query.from)?;
     let resolve = |c: &ColRef| layout.resolve(c);
 
@@ -384,13 +389,32 @@ pub fn execute_with_options(
 
     // --- Filtered scans (predicate pushdown) ----------------------------
     let mut scans: Vec<Vec<usize>> = Vec::with_capacity(layout.bindings.len());
-    for (i, b) in layout.bindings.iter().enumerate() {
-        let local: Vec<Expr> = single[i].iter().map(|e| localize(e, b.offset)).collect();
-        let scan = match opts.mode {
-            ExecMode::Vectorized => vector::filtered_scan_vectorized(b.table, &local, opts.shards)?,
-            ExecMode::RowOriented => filtered_scan(b.table, Expr::conjunction(local).as_ref())?,
-        };
-        scans.push(scan);
+    {
+        let _scan_span = telemetry::span("db.exec.scan");
+        for (i, b) in layout.bindings.iter().enumerate() {
+            let local: Vec<Expr> = single[i].iter().map(|e| localize(e, b.offset)).collect();
+            let scan = match opts.mode {
+                ExecMode::Vectorized => {
+                    vector::filtered_scan_vectorized(b.table, &local, opts.shards)?
+                }
+                ExecMode::RowOriented => filtered_scan(b.table, Expr::conjunction(local).as_ref())?,
+            };
+            scans.push(scan);
+        }
+        if telemetry::enabled() {
+            telemetry::counter(
+                "db.scan.rows_in",
+                layout
+                    .bindings
+                    .iter()
+                    .map(|b| b.table.row_count() as u64)
+                    .sum(),
+            );
+            telemetry::counter(
+                "db.scan.rows_out",
+                scans.iter().map(|s| s.len() as u64).sum(),
+            );
+        }
     }
 
     // --- Join ------------------------------------------------------------
@@ -415,6 +439,11 @@ pub fn execute_with_options(
     let mut remaining_joins: Vec<BoundJoin> = joins;
     let mut pending_residual = residual;
 
+    let join_span = if nb > 1 {
+        Some(telemetry::span("db.exec.join"))
+    } else {
+        None
+    };
     for _ in 1..nb {
         // Smallest unjoined binding connected to the joined set, else the
         // smallest unjoined binding overall (cartesian fallback).
@@ -539,6 +568,11 @@ pub fn execute_with_options(
         }
     }
 
+    if nb > 1 && telemetry::enabled() {
+        telemetry::counter("db.join.rows_out", inter.len() as u64);
+    }
+    drop(join_span);
+
     // Constant/zero-binding residuals (e.g. `1 = 0`).
     if !pending_residual.is_empty() {
         let pred =
@@ -548,6 +582,7 @@ pub fn execute_with_options(
 
     // --- Aggregate or project -------------------------------------------
     if query.is_aggregate() {
+        let _agg_span = telemetry::span("db.exec.aggregate");
         let result = aggregate::aggregate(&layout, &inter, query, &resolve)?;
         return Ok(QueryOutput {
             result,
@@ -588,6 +623,7 @@ pub fn execute_with_options(
         .collect::<DbResult<_>>()?;
 
     if !order.is_empty() {
+        let _sort_span = telemetry::span("db.exec.sort");
         let keys: Vec<Vec<Value>> = inter
             .iter()
             .map(|t| order.iter().map(|&(s, _)| layout.fetch(t, s)).collect())
@@ -607,6 +643,7 @@ pub fn execute_with_options(
     }
 
     // Project (+ DISTINCT + LIMIT with early exit when unordered).
+    let _project_span = telemetry::span("db.exec.project");
     let limit = query.limit.unwrap_or(usize::MAX);
     let mut rows: Vec<Row> = Vec::new();
     let mut lineage: Vec<Lineage> = Vec::new();
@@ -625,6 +662,7 @@ pub fn execute_with_options(
         rows.push(row);
         lineage.push(t.clone());
     }
+    telemetry::counter("db.rows_out", rows.len() as u64);
 
     Ok(QueryOutput {
         result: ResultSet {

@@ -22,8 +22,10 @@ use crate::expr::{CmpOp, Expr};
 use crate::table::Table;
 use crate::value::{canonical_f64_bits, Row, Value};
 use crate::zonemap::{Zone, ZoneBounds, MORSEL_ROWS};
+use asqp_telemetry as telemetry;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// A numeric literal, kept typed so integer comparisons stay exact.
 #[derive(Debug, Clone, Copy)]
@@ -573,6 +575,7 @@ pub(super) fn filtered_scan_vectorized(
             if let Some(col) = k.prune_col() {
                 if let Some(cz) = &z.columns[col] {
                     if kernel_skips(k, &cz.whole) {
+                        telemetry::counter("db.zonemap.tables_pruned", 1);
                         return Ok(Vec::new());
                     }
                 }
@@ -580,11 +583,19 @@ pub(super) fn filtered_scan_vectorized(
         }
     }
 
+    // Pruned-vs-scanned accounting: each shard tallies locally and folds
+    // into the shared atomics once, so the instrumented hot loop is
+    // untouched. Skipped entirely when telemetry is off.
+    let track = telemetry::enabled();
+    let pruned_total = AtomicU64::new(0);
+    let scanned_total = AtomicU64::new(0);
+
     let nchunks = n.div_ceil(MORSEL_ROWS);
     let shards = if n >= 2 * MORSEL_ROWS { shards } else { 1 };
-    run_sharded(nchunks, shards, |c0, c1| {
+    let out = run_sharded(nchunks, shards, |c0, c1| {
         let mut out = Vec::new();
         let mut sel: Vec<usize> = Vec::with_capacity(MORSEL_ROWS);
+        let (mut pruned, mut scanned) = (0u64, 0u64);
         'chunks: for ch in c0..c1 {
             let start = ch * MORSEL_ROWS;
             let end = (start + MORSEL_ROWS).min(n);
@@ -593,12 +604,14 @@ pub(super) fn filtered_scan_vectorized(
                     if let Some(col) = k.prune_col() {
                         if let Some(cz) = &z.columns[col] {
                             if kernel_skips(k, &cz.chunks[ch]) {
+                                pruned += 1;
                                 continue 'chunks;
                             }
                         }
                     }
                 }
             }
+            scanned += 1;
             sel.clear();
             sel.extend(start..end);
             for k in &compiled.kernels {
@@ -609,8 +622,23 @@ pub(super) fn filtered_scan_vectorized(
             }
             out.extend_from_slice(&sel);
         }
+        if track {
+            pruned_total.fetch_add(pruned, AtomicOrdering::Relaxed);
+            scanned_total.fetch_add(scanned, AtomicOrdering::Relaxed);
+        }
         Ok(out)
-    })
+    })?;
+    if track {
+        telemetry::counter(
+            "db.zonemap.morsels_pruned",
+            pruned_total.load(AtomicOrdering::Relaxed),
+        );
+        telemetry::counter(
+            "db.exec.morsels_scanned",
+            scanned_total.load(AtomicOrdering::Relaxed),
+        );
+    }
+    Ok(out)
 }
 
 /// Hash-join probe over the intermediate, general (multi-column) keys.

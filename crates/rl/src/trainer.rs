@@ -6,9 +6,11 @@ use crate::env::Environment;
 use crate::policy::ActorCritic;
 use crate::rollout::{RolloutBuffer, StoredStep};
 use asqp_nn::{func, Adam, Matrix};
+use asqp_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which update rule drives learning (the paper's ablation axis, Fig. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +45,20 @@ pub struct TrainerConfig {
     /// Hidden-layer widths for both networks.
     pub hidden: Vec<usize>,
     pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// Clamp degenerate values to their working minimums: `num_workers = 0`
+    /// would otherwise request an empty rollout ensemble, and zero
+    /// `steps_per_worker`/`minibatch_size` would starve every update.
+    /// [`Trainer::new`] applies this, so a hand-built config can never
+    /// silently train on no data.
+    pub fn validated(mut self) -> Self {
+        self.num_workers = self.num_workers.max(1);
+        self.steps_per_worker = self.steps_per_worker.max(1);
+        self.minibatch_size = self.minibatch_size.max(1);
+        self
+    }
 }
 
 impl Default for TrainerConfig {
@@ -88,6 +104,7 @@ pub struct Trainer {
 
 impl Trainer {
     pub fn new(config: TrainerConfig, state_dim: usize, n_actions: usize) -> Self {
+        let config = config.validated();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let policy = ActorCritic::new(state_dim, n_actions, &config.hidden, &mut rng);
         let actor_opt = Adam::new(config.learning_rate).with_max_grad_norm(Some(0.5));
@@ -147,14 +164,39 @@ impl Trainer {
         merged
     }
 
-    /// One full iteration: collect + update. Returns diagnostics.
+    /// One full iteration: collect + update. Returns diagnostics, and —
+    /// when a telemetry recorder is installed — emits per-iteration spans,
+    /// rollout throughput and the loss gauges.
     pub fn train_iteration<E>(&mut self, env: &E) -> IterationStats
     where
         E: Environment + Clone + Send + Sync,
     {
-        let buf = self.collect(env);
+        let _iter_span = telemetry::span("rl.iteration");
+        let collect_start = telemetry::enabled().then(Instant::now);
+        let buf = {
+            let _collect_span = telemetry::span("rl.collect");
+            self.collect(env)
+        };
+        if let Some(t0) = collect_start {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                telemetry::gauge("rl.rollout_steps_per_sec", buf.len() as f64 / secs);
+            }
+            telemetry::counter("rl.steps", buf.len() as u64);
+        }
         let mean_episode_reward = buf.mean_episode_reward();
-        let (policy_loss, value_loss, entropy, approx_kl) = self.update(&buf);
+        let (policy_loss, value_loss, entropy, approx_kl) = {
+            let _update_span = telemetry::span("rl.update");
+            self.update(&buf)
+        };
+        if telemetry::enabled() {
+            telemetry::counter("rl.iterations", 1);
+            telemetry::gauge("rl.mean_episode_reward", mean_episode_reward as f64);
+            telemetry::gauge("rl.policy_loss", policy_loss as f64);
+            telemetry::gauge("rl.value_loss", value_loss as f64);
+            telemetry::gauge("rl.entropy", entropy as f64);
+            telemetry::gauge("rl.approx_kl", approx_kl as f64);
+        }
         IterationStats {
             mean_episode_reward,
             policy_loss,
@@ -340,6 +382,9 @@ fn rollout_worker<E: Environment>(
     steps: usize,
     seed: u64,
 ) -> RolloutBuffer {
+    // Per-worker wall-clock lands in a histogram (workers run on their own
+    // threads, so a span here would fragment the iteration tree).
+    let worker_start = telemetry::enabled().then(Instant::now);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = RolloutBuffer::new();
     let mut state = env.reset();
@@ -367,6 +412,9 @@ fn rollout_worker<E: Environment>(
     // across iterations (bounded-episode environments make this benign).
     if let Some(last) = buf.steps.last_mut() {
         last.done = true;
+    }
+    if let Some(t0) = worker_start {
+        telemetry::observe_duration("rl.worker_rollout_ns", t0.elapsed());
     }
     buf
 }
@@ -442,6 +490,43 @@ mod tests {
         for s in &buf.steps {
             assert!(s.mask.iter().filter(|&&m| !m).count() <= 1);
         }
+    }
+
+    #[test]
+    fn zero_num_workers_clamps_to_one_and_still_collects() {
+        let env = ToyCoverageEnv::new(vec![0.5; 4], 2);
+        let cfg = TrainerConfig {
+            num_workers: 0,
+            steps_per_worker: 16,
+            hidden: vec![16],
+            ..TrainerConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg, 4, 4);
+        assert_eq!(
+            trainer.config.num_workers, 1,
+            "num_workers = 0 must clamp to 1"
+        );
+        let buf = trainer.collect(&env);
+        assert_eq!(buf.len(), 16, "clamped config still fills a rollout");
+        let stats = trainer.train_iteration(&env);
+        assert!(stats.steps > 0 && stats.policy_loss.is_finite());
+    }
+
+    #[test]
+    fn validated_clamps_all_degenerate_knobs() {
+        let cfg = TrainerConfig {
+            num_workers: 0,
+            steps_per_worker: 0,
+            minibatch_size: 0,
+            ..TrainerConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.num_workers, 1);
+        assert_eq!(cfg.steps_per_worker, 1);
+        assert_eq!(cfg.minibatch_size, 1);
+        // Sane values pass through untouched.
+        let keep = TrainerConfig::default().validated();
+        assert_eq!(keep.num_workers, TrainerConfig::default().num_workers);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Fixed-bucket latency histogram.
+//!
+//! Bucket boundaries are fixed at powers of four microseconds — 1 µs, 4 µs,
+//! …, ~4.3 s — so histograms from different runs, machines and recorders
+//! are always mergeable and diffable bucket-by-bucket (the property the CI
+//! regression gate relies on). Values at or below a boundary fall in that
+//! boundary's bucket; everything above the last boundary lands in a final
+//! overflow bucket.
+
+use crate::report::HistogramReport;
+
+/// Upper-inclusive bucket boundaries in nanoseconds: `1 µs · 4ⁿ`.
+pub const HISTOGRAM_BOUNDS_NS: [u64; 12] = [
+    1_000,         // 1 µs
+    4_000,         // 4 µs
+    16_000,        // 16 µs
+    64_000,        // 64 µs
+    256_000,       // 256 µs
+    1_024_000,     // ~1 ms
+    4_096_000,     // ~4 ms
+    16_384_000,    // ~16 ms
+    65_536_000,    // ~66 ms
+    262_144_000,   // ~262 ms
+    1_048_576_000, // ~1 s
+    4_194_304_000, // ~4.2 s
+];
+
+/// Bucket count: one per boundary plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = HISTOGRAM_BOUNDS_NS.len() + 1;
+
+/// Index of the bucket holding a value: the first boundary `>= ns`, or the
+/// overflow bucket.
+pub fn bucket_index(ns: u64) -> usize {
+    HISTOGRAM_BOUNDS_NS.partition_point(|&bound| bound < ns)
+}
+
+/// A fixed-bucket latency histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimated quantile: the upper bound of the bucket containing the
+    /// q-th observation, clamped to the exact observed [min, max] range.
+    /// Exact for any distribution at bucket granularity.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let upper = HISTOGRAM_BOUNDS_NS.get(i).copied().unwrap_or(self.max_ns);
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merge another histogram into this one (shared fixed buckets make
+    /// this exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Snapshot for serialization.
+    pub fn to_report(&self) -> HistogramReport {
+        HistogramReport {
+            count: self.count,
+            sum_ns: self.sum_ns,
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            buckets: self.buckets.to_vec(),
+            p50_ns: self.quantile_ns(0.50),
+            p90_ns: self.quantile_ns(0.90),
+            p99_ns: self.quantile_ns(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_powers_of_four() {
+        for w in HISTOGRAM_BOUNDS_NS.windows(2) {
+            assert_eq!(w[1], w[0] * 4);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_upper_inclusive() {
+        // At a boundary → that boundary's bucket; one past → the next.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(4_000), 1);
+        assert_eq!(bucket_index(4_001), 2);
+        assert_eq!(bucket_index(4_194_304_000), HISTOGRAM_BUCKETS - 2);
+        assert_eq!(bucket_index(4_194_304_001), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_tracks_exact_extremes() {
+        let mut h = Histogram::new();
+        for ns in [500, 2_000_000, 30] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_ns, 30);
+        assert_eq!(h.max_ns, 2_000_000);
+        assert_eq!(h.sum_ns, 2_000_530);
+        assert_eq!(h.buckets[0], 2); // 30 and 500 share the ≤1 µs bucket
+        assert_eq!(h.buckets[bucket_index(2_000_000)], 1);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(2_000); // bucket 1 (≤4 µs)
+        }
+        for _ in 0..10 {
+            h.record(10_000_000); // ~10 ms bucket
+        }
+        assert_eq!(h.quantile_ns(0.5), 4_000);
+        assert_eq!(h.quantile_ns(0.9), 4_000);
+        // p99 must reach the slow bucket; clamped to exact max.
+        assert_eq!(h.quantile_ns(0.99), 10_000_000);
+        assert_eq!(h.quantile_ns(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min_ns, 50);
+        assert_eq!(a.max_ns, 1_000_000);
+    }
+}

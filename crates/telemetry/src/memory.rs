@@ -1,0 +1,174 @@
+//! The collecting recorder: aggregates spans into a per-path tree and
+//! counters/gauges/histograms into sorted maps, then snapshots everything
+//! as a [`TelemetryReport`].
+
+use crate::histogram::Histogram;
+use crate::report::{GaugeReport, SpanReport, TelemetryReport};
+use crate::Recorder;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+/// Aggregated span node in the arena. One node per unique
+/// `(parent, name)` pair — repeated calls accumulate instead of growing
+/// the tree.
+#[derive(Debug)]
+struct SpanNode {
+    name: &'static str,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    children: Vec<usize>,
+}
+
+impl SpanNode {
+    fn new(name: &'static str) -> SpanNode {
+        SpanNode {
+            name,
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            children: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    /// Open-span stack per thread: nested guards on one thread build the
+    /// tree; other threads start their own roots.
+    stacks: HashMap<ThreadId, Vec<usize>>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, GaugeReport>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl State {
+    fn child_named(&mut self, parent: Option<usize>, name: &'static str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode::new(name));
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+}
+
+/// In-memory aggregating [`Recorder`]. Cheap enough for benches and tests;
+/// a single mutex guards all state, so hot code must emit coarsely (the
+/// crate-level docs spell out the granularity contract).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    state: Mutex<State>,
+}
+
+impl MemoryRecorder {
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Snapshot everything recorded so far.
+    pub fn report(&self) -> TelemetryReport {
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        fn build(state: &State, idx: usize) -> SpanReport {
+            let n = &state.nodes[idx];
+            SpanReport {
+                name: n.name.to_string(),
+                count: n.count,
+                total_ns: n.total_ns,
+                min_ns: if n.count == 0 { 0 } else { n.min_ns },
+                max_ns: n.max_ns,
+                children: n.children.iter().map(|&c| build(state, c)).collect(),
+            }
+        }
+        TelemetryReport {
+            spans: state.roots.iter().map(|&r| build(&state, r)).collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.to_report()))
+                .collect(),
+        }
+    }
+
+    /// Drop all recorded state (the recorder stays installed).
+    pub fn reset(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = State::default();
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn span_enter(&self, name: &'static str) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let tid = std::thread::current().id();
+        let parent = state.stacks.get(&tid).and_then(|s| s.last().copied());
+        let idx = state.child_named(parent, name);
+        state.stacks.entry(tid).or_default().push(idx);
+    }
+
+    fn span_exit(&self, name: &'static str, elapsed_ns: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let tid = std::thread::current().id();
+        // Only close a span this recorder saw open; a mismatched name means
+        // the enter predates installation — drop the observation.
+        let Some(&top) = state.stacks.get(&tid).and_then(|s| s.last()) else {
+            return;
+        };
+        if state.nodes[top].name != name {
+            return;
+        }
+        state.stacks.get_mut(&tid).expect("stack exists").pop();
+        let node = &mut state.nodes[top];
+        node.count += 1;
+        node.total_ns = node.total_ns.saturating_add(elapsed_ns);
+        node.min_ns = node.min_ns.min(elapsed_ns);
+        node.max_ns = node.max_ns.max(elapsed_ns);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let g = state.gauges.entry(name).or_insert(GaugeReport {
+            last: value,
+            min: value,
+            max: value,
+            count: 0,
+        });
+        g.last = value;
+        g.min = g.min.min(value);
+        g.max = g.max.max(value);
+        g.count += 1;
+    }
+
+    fn observe_ns(&self, name: &'static str, ns: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.histograms.entry(name).or_default().record(ns);
+    }
+}

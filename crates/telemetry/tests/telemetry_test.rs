@@ -1,0 +1,165 @@
+//! Telemetry coverage required by the CI issue: span nesting order,
+//! histogram bucket boundaries, JSON round-trip through the vendored
+//! serde_json, and the no-op recorder recording nothing.
+
+use asqp_telemetry as telemetry;
+use asqp_telemetry::{
+    bucket_index, Histogram, MemoryRecorder, NoopRecorder, Recorder, TelemetryReport,
+    HISTOGRAM_BOUNDS_NS, HISTOGRAM_BUCKETS,
+};
+use std::sync::Arc;
+
+#[test]
+fn span_nesting_builds_the_tree_in_call_order() {
+    let rec = Arc::new(MemoryRecorder::new());
+    telemetry::scoped(rec.clone(), || {
+        let _outer = telemetry::span("outer");
+        {
+            let _a = telemetry::span("child_a");
+            let _leaf = telemetry::span("leaf");
+        }
+        {
+            let _b = telemetry::span("child_b");
+        }
+        {
+            // Re-entering an existing path aggregates, not duplicates.
+            let _a = telemetry::span("child_a");
+        }
+    });
+    let report = rec.report();
+    assert_eq!(report.spans.len(), 1, "one root span");
+    let outer = &report.spans[0];
+    assert_eq!(outer.name, "outer");
+    assert_eq!(outer.count, 1);
+    // Children keep first-seen order and aggregate repeats.
+    let names: Vec<&str> = outer.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["child_a", "child_b"]);
+    assert_eq!(outer.children[0].count, 2);
+    assert_eq!(outer.children[0].children[0].name, "leaf");
+    // A parent's total covers its children's.
+    assert!(outer.total_ns >= outer.children.iter().map(|c| c.total_ns).sum::<u64>());
+    assert!(outer.min_ns <= outer.max_ns);
+}
+
+#[test]
+fn sibling_roots_when_no_span_is_open() {
+    let rec = Arc::new(MemoryRecorder::new());
+    telemetry::scoped(rec.clone(), || {
+        telemetry::time("first_root", || ());
+        telemetry::time("second_root", || ());
+    });
+    let report = rec.report();
+    let roots: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(roots, vec!["first_root", "second_root"]);
+}
+
+#[test]
+fn spans_from_worker_threads_get_their_own_roots() {
+    let rec = Arc::new(MemoryRecorder::new());
+    telemetry::scoped(rec.clone(), || {
+        let _main = telemetry::span("main_root");
+        std::thread::scope(|s| {
+            s.spawn(|| telemetry::time("worker_root", || ()));
+        });
+    });
+    let report = rec.report();
+    let roots: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(roots.contains(&"main_root"));
+    assert!(roots.contains(&"worker_root"));
+    // The worker span must NOT appear under the main thread's root.
+    assert!(report.spans[0].children.is_empty());
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_upper_inclusive_powers_of_four() {
+    // Every boundary value lands in its own bucket; boundary + 1 in the
+    // next; everything past the last boundary overflows.
+    for (i, &bound) in HISTOGRAM_BOUNDS_NS.iter().enumerate() {
+        assert_eq!(bucket_index(bound), i);
+        assert_eq!(bucket_index(bound + 1), i + 1);
+    }
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+    let mut h = Histogram::new();
+    h.record(HISTOGRAM_BOUNDS_NS[3]); // 64 µs → bucket 3
+    h.record(HISTOGRAM_BOUNDS_NS[3] + 1); // → bucket 4
+    assert_eq!(h.buckets[3], 1);
+    assert_eq!(h.buckets[4], 1);
+    assert_eq!(h.count, 2);
+}
+
+#[test]
+fn json_report_round_trips_through_vendored_serde_json() {
+    let rec = Arc::new(MemoryRecorder::new());
+    telemetry::scoped(rec.clone(), || {
+        let _q = telemetry::span("db.execute");
+        telemetry::time("db.exec.scan", || ());
+        telemetry::counter("db.scan.rows_out", 1234);
+        telemetry::gauge("rl.policy_loss", -0.125);
+        telemetry::gauge("rl.policy_loss", 0.5);
+        telemetry::observe_ns("session.latency.subset_ns", 42_000);
+        telemetry::observe_ns("session.latency.subset_ns", 7_000_000);
+    });
+    let report = rec.report();
+    let json = report.to_json_pretty().unwrap();
+    let back = TelemetryReport::from_json(&json).unwrap();
+    assert_eq!(back, report, "JSON round-trip must be lossless");
+
+    // Spot-check the structure survived.
+    assert_eq!(back.counters["db.scan.rows_out"], 1234);
+    let g = &back.gauges["rl.policy_loss"];
+    assert_eq!(g.last, 0.5);
+    assert_eq!(g.min, -0.125);
+    assert_eq!(g.count, 2);
+    let h = &back.histograms["session.latency.subset_ns"];
+    assert_eq!(h.count, 2);
+    assert_eq!(h.min_ns, 42_000);
+    assert_eq!(h.max_ns, 7_000_000);
+    assert_eq!(h.buckets.len(), HISTOGRAM_BUCKETS);
+    let scan = back.find_span("db.exec.scan").unwrap();
+    assert_eq!(scan.count, 1);
+}
+
+#[test]
+fn noop_recorder_records_no_spans() {
+    // Install the no-op recorder and emit everything; then swap in a
+    // memory recorder and confirm nothing leaked across.
+    let noop = Arc::new(NoopRecorder);
+    telemetry::scoped(noop, || {
+        let _s = telemetry::span("invisible");
+        telemetry::counter("invisible", 5);
+        telemetry::gauge("invisible", 5.0);
+        telemetry::observe_ns("invisible", 5);
+    });
+    // NoopRecorder's own methods observably do nothing.
+    let rec = MemoryRecorder::new();
+    NoopRecorder.span_enter("x");
+    NoopRecorder.span_exit("x", 1);
+    NoopRecorder.counter("x", 1);
+    let empty = rec.report();
+    assert!(empty.spans.is_empty());
+    assert!(empty.counters.is_empty());
+    assert!(empty.gauges.is_empty());
+    assert!(empty.histograms.is_empty());
+
+    // And with no recorder installed at all, emissions are dropped.
+    assert!(!telemetry::enabled());
+    telemetry::counter("dropped", 1);
+    let _s = telemetry::span("dropped");
+    assert!(_s.elapsed().is_none());
+}
+
+#[test]
+fn reset_clears_recorded_state() {
+    let rec = Arc::new(MemoryRecorder::new());
+    telemetry::scoped(rec.clone(), || {
+        telemetry::counter("c", 1);
+        telemetry::time("s", || ());
+        rec.reset();
+        telemetry::counter("after_reset", 2);
+    });
+    let report = rec.report();
+    assert!(report.spans.is_empty());
+    assert_eq!(report.counters.len(), 1);
+    assert_eq!(report.counters["after_reset"], 2);
+}
