@@ -109,6 +109,24 @@ fn exec_benches(fact_rows: usize, samples: usize, out: &mut Vec<BenchResult>) {
     }));
 }
 
+/// Gated NN-kernel and PPO-update benches (see `workloads::nn_matmul_inputs`
+/// / `workloads::ppo_update_fixture`): `nn_matmul/square` tracks the raw
+/// GEMM the training loop leans on, `ppo_update/minibatches` the sharded
+/// minibatch update path with rollout collection hoisted out of the timer.
+fn nn_benches(reduced: bool, gemm_samples: usize, slow_samples: usize, out: &mut Vec<BenchResult>) {
+    let dim = if reduced { 128 } else { 256 };
+    let (a, b) = workloads::nn_matmul_inputs(dim);
+    let warmup = (gemm_samples / 4).max(2);
+    out.push(measure("nn_matmul/square", warmup, gemm_samples, || {
+        a.matmul(&b).at(0, 0)
+    }));
+
+    let (mut trainer, buf) = workloads::ppo_update_fixture(reduced);
+    out.push(measure("ppo_update/minibatches", 1, slow_samples, || {
+        trainer.update(&buf).0
+    }));
+}
+
 fn rl_bench(samples: usize, out: &mut Vec<BenchResult>) {
     let env = ToyCoverageEnv::new(vec![0.5; 64], 8);
     let cfg = TrainerConfig {
@@ -191,6 +209,7 @@ fn main() -> ExitCode {
     let calibration = calibration_ns();
     let mut benches: Vec<BenchResult> = Vec::new();
     exec_benches(fact_rows, exec_samples, &mut benches);
+    nn_benches(args.reduced, exec_samples, slow_samples, &mut benches);
     rl_bench(slow_samples, &mut benches);
     session_bench(slow_samples, &mut benches);
     preprocess_bench(slow_samples, &mut benches);

@@ -4,6 +4,8 @@
 //! of the exact same benches.
 
 use asqp_db::{Database, Query, Schema, Value, ValueType};
+use asqp_nn::Matrix;
+use asqp_rl::{AgentKind, Environment, RolloutBuffer, ToyCoverageEnv, Trainer, TrainerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -123,6 +125,37 @@ pub fn join_query() -> Query {
     .unwrap()
 }
 
+/// Seeded square matrices for the `nn_matmul` bench — the GEMM shape the
+/// kernel layer is tuned on (`dim = 256` in the full run).
+pub fn nn_matmul_inputs(dim: usize) -> (Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(11);
+    (
+        Matrix::kaiming(dim, dim, &mut rng),
+        Matrix::kaiming(dim, dim, &mut rng),
+    )
+}
+
+/// A PPO trainer plus a pre-collected rollout buffer for the `ppo_update`
+/// bench: collecting once outside the measured closure isolates the sharded
+/// minibatch update path (forward tapes, backprop, gradient reduction,
+/// Adam) from rollout cost. Network sizes match the default
+/// [`TrainerConfig`] so the bench tracks the training configuration the
+/// paper experiments use.
+pub fn ppo_update_fixture(reduced: bool) -> (Trainer, RolloutBuffer) {
+    let env = ToyCoverageEnv::new(vec![0.5; 64], 8);
+    let cfg = TrainerConfig {
+        agent: AgentKind::Ppo,
+        num_workers: 1,
+        steps_per_worker: if reduced { 128 } else { 512 },
+        update_epochs: if reduced { 2 } else { 4 },
+        seed: 3,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, env.state_dim(), env.action_count());
+    let buf = trainer.collect(&env);
+    (trainer, buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +180,20 @@ mod tests {
             let rs = db.execute(&q).unwrap();
             assert!(!rs.rows.is_empty(), "query returned nothing: {q:?}");
         }
+    }
+
+    #[test]
+    fn nn_fixtures_are_deterministic_and_sized() {
+        let (a, b) = nn_matmul_inputs(32);
+        let (a2, b2) = nn_matmul_inputs(32);
+        assert_eq!(a.data(), a2.data());
+        assert_eq!(b.data(), b2.data());
+        assert_eq!(a.shape(), (32, 32));
+
+        let (mut trainer, buf) = ppo_update_fixture(true);
+        assert_eq!(buf.len(), 128);
+        let (policy_loss, ..) = trainer.update(&buf);
+        assert!(policy_loss.is_finite());
     }
 
     #[test]

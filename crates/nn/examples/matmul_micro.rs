@@ -1,0 +1,110 @@
+//! Matmul micro-bench, tiled kernel vs the retained naive reference:
+//! `cargo run --release -p asqp-nn --example matmul_micro`.
+//!
+//! Both sides run in the same process back to back, so the reported ratio
+//! is insulated from machine-frequency drift between runs.
+
+use asqp_nn::{kernels, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn median_ns(mut f: impl FnMut(), warmup: usize, samples: usize) -> u128 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The pre-kernel-layer `Matrix::matmul` loop, verbatim: plain mul/add ikj
+/// with a per-element zero-skip branch. Kept here (not in the library) as
+/// the honest "before" side of the speedup ratio. Note this is *not*
+/// `kernels::reference::matmul` — the reference uses `f32::mul_add`, which
+/// at baseline ISA compiles to a libm `fmaf` call and would overstate the
+/// speedup ~20×.
+fn pre_pr_matmul(n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    out.fill(0.0);
+    for i in 0..n {
+        for k in 0..n {
+            let av = a[i * n + k];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 256;
+    let a = Matrix::kaiming(n, n, &mut rng);
+    let b = Matrix::kaiming(n, n, &mut rng);
+    let flops = 2.0 * (n as f64).powi(3);
+
+    let tiled = median_ns(
+        || {
+            black_box(a.matmul(&b));
+        },
+        3,
+        9,
+    );
+    let mut naive_out = vec![0.0f32; n * n];
+    let before = median_ns(
+        || {
+            pre_pr_matmul(n, a.data(), b.data(), &mut naive_out);
+            black_box(naive_out[0]);
+        },
+        2,
+        5,
+    );
+    let reference = median_ns(
+        || {
+            kernels::reference::matmul(n, n, n, a.data(), b.data(), &mut naive_out);
+            black_box(naive_out[0]);
+        },
+        1,
+        3,
+    );
+    println!(
+        "matmul {n}x{n}x{n}: tiled {:.3} ms ({:.2} GFLOP/s)  pre-PR naive {:.3} ms ({:.2} GFLOP/s)  speedup {:.2}x",
+        tiled as f64 / 1e6,
+        flops / tiled as f64,
+        before as f64 / 1e6,
+        flops / before as f64,
+        before as f64 / tiled as f64
+    );
+    println!(
+        "mul_add reference (bit-exact oracle, not a perf baseline): {:.3} ms",
+        reference as f64 / 1e6
+    );
+
+    let t = median_ns(
+        || {
+            black_box(a.t_matmul(&b));
+        },
+        2,
+        5,
+    );
+    println!("t_matmul: {:.3} ms", t as f64 / 1e6);
+    let t = median_ns(
+        || {
+            black_box(a.matmul_t(&b));
+        },
+        2,
+        5,
+    );
+    println!("matmul_t: {:.3} ms", t as f64 / 1e6);
+}

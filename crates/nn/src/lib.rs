@@ -4,6 +4,9 @@
 //!
 //! * [`Matrix`] — row-major f32 matrices with the handful of ops backprop
 //!   needs (`matmul`, transpose-fused variants, broadcasts)
+//! * [`kernels`] — the compute layer under `Matrix`: cache-blocked,
+//!   register-tiled GEMM with runtime AVX2/AVX-512 dispatch, a fused
+//!   linear+bias+activation epilogue, and bit-exact naive references
 //! * [`Mlp`] / [`Linear`] — fully-connected stacks with manual
 //!   backpropagation (gradient-checked against finite differences)
 //! * [`Adam`] — Adam with global-norm gradient clipping
@@ -13,6 +16,7 @@
 //! Everything is deterministic given a seeded `rand::Rng`.
 
 pub mod func;
+pub mod kernels;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
@@ -22,6 +26,6 @@ pub use func::{
     argmax, entropy, log_softmax, mask_logits, sample_categorical, softmax_in_place, softmax_rows,
 };
 pub use matrix::Matrix;
-pub use mlp::{Activation, Linear, Mlp};
+pub use mlp::{Activation, LayerGrads, Linear, Mlp, MlpTape};
 pub use optim::Adam;
 pub use vae::{randn, Vae, VaeConfig};

@@ -94,7 +94,9 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self @ other` — naive ikj matmul (cache-friendly inner loop).
+    /// `self @ other` — cache-blocked, register-tiled, vectorized GEMM
+    /// (see [`crate::kernels`] for the tiling scheme and the bit-exactness
+    /// contract with the retained naive reference).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -104,67 +106,56 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_raw(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// `self^T @ other` without materialising the transpose.
+    /// `self^T @ other`. Materialises the (cheap, O(rows·cols)) transpose
+    /// and runs the blocked GEMM; per-element accumulation stays in
+    /// ascending shared-dimension order, so the result is bit-identical to
+    /// the transpose-free naive loop.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let at = self.transpose();
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let brow = &other.data[r * other.cols..(r + 1) * other.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_raw(
+            self.cols,
+            self.rows,
+            other.cols,
+            &at.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
-    /// `self @ other^T` without materialising the transpose.
+    /// `self @ other^T`. Same strategy as [`Matrix::t_matmul`]: transpose
+    /// the (small) right-hand side, then run the blocked GEMM.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let bt = other.transpose();
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut s = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    s += a * b;
-                }
-                out.data[i * other.rows + j] = s;
-            }
-        }
+        crate::kernels::gemm_raw(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &bt.data,
+            &mut out.data,
+        );
         out
     }
 
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::kernels::transpose_into(self.rows, self.cols, &self.data, &mut out.data);
         out
     }
 

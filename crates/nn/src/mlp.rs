@@ -4,8 +4,11 @@
 //! space's size, followed by smaller fully-connected layers" (§5.1); this
 //! module provides exactly that, plus the gradients PPO needs.
 
+use crate::kernels::{self, EpilogueAct};
 use crate::matrix::Matrix;
+use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Activation applied after a linear layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,11 +19,11 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn forward(self, x: &Matrix) -> Matrix {
+    fn epilogue(self) -> EpilogueAct {
         match self {
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Tanh => x.map(f32::tanh),
-            Activation::Identity => x.clone(),
+            Activation::Relu => EpilogueAct::Relu,
+            Activation::Tanh => EpilogueAct::Tanh,
+            Activation::Identity => EpilogueAct::Identity,
         }
     }
 
@@ -30,6 +33,49 @@ impl Activation {
             Activation::Relu => dy.zip_map(y, |g, out| if out > 0.0 { g } else { 0.0 }),
             Activation::Tanh => dy.zip_map(y, |g, out| g * (1.0 - out * out)),
             Activation::Identity => dy.clone(),
+        }
+    }
+}
+
+/// Per-layer saved activations from an immutable forward pass
+/// ([`Mlp::forward_tape`]): the chain of layer inputs/outputs needed by
+/// [`Mlp::backward_tape`]. Owning the tape (instead of stashing caches
+/// inside the model, as the `&mut self` API does) is what lets several
+/// threads compute gradients against one shared `&Mlp` concurrently.
+#[derive(Debug, Clone)]
+pub struct MlpTape {
+    /// `acts[0]` is the network input, `acts[i + 1]` the activated output
+    /// of layer `i`.
+    acts: Vec<Matrix>,
+}
+
+impl MlpTape {
+    /// The forward pass's final output.
+    pub fn output(&self) -> &Matrix {
+        self.acts.last().expect("tape always holds the input")
+    }
+}
+
+/// Gradients for one [`Linear`] layer, produced by [`Mlp::backward_tape`].
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    pub gw: Matrix,
+    pub gb: Matrix,
+}
+
+impl LayerGrads {
+    /// Elementwise accumulate `other` into `self`. Callers that reduce
+    /// shard gradients must invoke this in a fixed shard order — f32
+    /// addition is not associative, and byte-determinism of the sharded
+    /// PPO update rests on this ordering.
+    pub fn accumulate(&mut self, other: &LayerGrads) {
+        debug_assert_eq!(self.gw.shape(), other.gw.shape());
+        debug_assert_eq!(self.gb.shape(), other.gb.shape());
+        for (a, b) in self.gw.data_mut().iter_mut().zip(other.gw.data()) {
+            *a += b;
+        }
+        for (a, b) in self.gb.data_mut().iter_mut().zip(other.gb.data()) {
+            *a += b;
         }
     }
 }
@@ -63,10 +109,32 @@ impl Linear {
         }
     }
 
+    /// `act(x W + b)` through the fused kernel: one GEMM + one epilogue
+    /// sweep, a single output allocation, no intermediate matrices.
+    fn fused_out(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.w.rows(),
+            "layer input width {} != weight rows {}",
+            x.cols(),
+            self.w.rows()
+        );
+        let mut out = Matrix::zeros(x.rows(), self.w.cols());
+        kernels::fused_linear_into(
+            x.rows(),
+            x.cols(),
+            self.w.cols(),
+            x.data(),
+            self.w.data(),
+            Some(self.b.data()),
+            self.act.epilogue(),
+            out.data_mut(),
+        );
+        out
+    }
+
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let y = self
-            .act
-            .forward(&x.matmul(&self.w).add_row_broadcast(&self.b));
+        let y = self.fused_out(x);
         self.cache_x = Some(x.clone());
         self.cache_y = Some(y.clone());
         y
@@ -74,8 +142,27 @@ impl Linear {
 
     /// Inference-only forward: no caches, `&self`.
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.act
-            .forward(&x.matmul(&self.w).add_row_broadcast(&self.b))
+        self.fused_out(x)
+    }
+
+    /// Single-row inference fast path: `out = act(x W + b)` written straight
+    /// into a reusable buffer — no `Matrix` wrappers, no per-layer
+    /// allocations once `out`'s capacity has warmed up. Bit-identical to
+    /// [`Linear::infer`] on a 1-row matrix (same kernel, same order).
+    pub fn infer_row_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.w.rows(), "row width != weight rows");
+        out.clear();
+        out.resize(self.w.cols(), 0.0);
+        kernels::fused_linear_into(
+            1,
+            x.len(),
+            self.w.cols(),
+            x,
+            self.w.data(),
+            Some(self.b.data()),
+            self.act.epilogue(),
+            out,
+        );
     }
 
     /// Backprop: accumulate dW, db; return dX.
@@ -146,27 +233,127 @@ impl Mlp {
     }
 
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let t = telemetry::enabled().then(Instant::now);
         let mut h = x.clone();
         for l in &mut self.layers {
             h = l.forward(&h);
+        }
+        if let Some(t) = t {
+            telemetry::observe_duration("nn.forward_ns", t.elapsed());
         }
         h
     }
 
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        let t = telemetry::enabled().then(Instant::now);
         let mut h = x.clone();
         for l in &self.layers {
             h = l.infer(&h);
         }
+        if let Some(t) = t {
+            telemetry::observe_duration("nn.forward_ns", t.elapsed());
+        }
         h
     }
 
+    /// Single-row inference fast path: runs the whole stack on one state
+    /// vector through [`Linear::infer_row_into`] with two ping-pong
+    /// buffers — no `Matrix` allocation per layer. Bit-identical to
+    /// [`Mlp::infer`] on a 1-row matrix.
+    ///
+    /// Deliberately untimed: this is the rollout hot path, called once per
+    /// environment step, and even a branch-on-disabled telemetry probe is
+    /// measurable there.
+    pub fn infer_row(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for l in &self.layers {
+            l.infer_row_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let t = telemetry::enabled().then(Instant::now);
         let mut g = dy.clone();
         for l in self.layers.iter_mut().rev() {
             g = l.backward(&g);
         }
+        if let Some(t) = t {
+            telemetry::observe_duration("nn.backward_ns", t.elapsed());
+        }
         g
+    }
+
+    /// Immutable forward pass that records the activation chain needed for
+    /// [`Mlp::backward_tape`]. Unlike [`Mlp::forward`] this takes `&self`,
+    /// so many threads can run tapes against one shared model — the basis
+    /// of the sharded PPO update.
+    pub fn forward_tape(&self, x: &Matrix) -> MlpTape {
+        let t = telemetry::enabled().then(Instant::now);
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        for l in &self.layers {
+            let y = l.infer(acts.last().expect("acts starts non-empty"));
+            acts.push(y);
+        }
+        if let Some(t) = t {
+            telemetry::observe_duration("nn.forward_ns", t.elapsed());
+        }
+        MlpTape { acts }
+    }
+
+    /// Backprop against a tape from [`Mlp::forward_tape`]; returns one
+    /// [`LayerGrads`] per layer (same order as `self.layers`). Does not
+    /// touch the model's internal gradient accumulators, so concurrent
+    /// calls on `&self` are safe. The per-layer math is the same as
+    /// [`Linear::backward`], so results are bit-identical to the mutable
+    /// path given the same inputs. The dX of layer 0 is never needed by
+    /// the trainer, so it is skipped.
+    pub fn backward_tape(&self, tape: &MlpTape, dy: &Matrix) -> Vec<LayerGrads> {
+        let t = telemetry::enabled().then(Instant::now);
+        assert_eq!(
+            tape.acts.len(),
+            self.layers.len() + 1,
+            "tape does not match this model"
+        );
+        let mut rev_grads = Vec::with_capacity(self.layers.len());
+        let mut g = dy.clone();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let x = &tape.acts[i];
+            let y = &tape.acts[i + 1];
+            let dz = l.act.backward(&g, y);
+            let gw = x.t_matmul(&dz);
+            let gb = dz.sum_rows();
+            if i > 0 {
+                g = dz.matmul_t(&l.w);
+            }
+            rev_grads.push(LayerGrads { gw, gb });
+        }
+        rev_grads.reverse();
+        if let Some(t) = t {
+            telemetry::observe_duration("nn.backward_ns", t.elapsed());
+        }
+        rev_grads
+    }
+
+    /// (parameter, gradient) pairs for [`crate::Adam`], built from
+    /// externally-reduced tape gradients. Same parameter layout/order as
+    /// [`Mlp::params_and_grads`], so an optimizer's moment state carries
+    /// over between the two APIs.
+    pub fn params_with_grads(&mut self, grads: &[LayerGrads]) -> Vec<(&mut [f32], Vec<f32>)> {
+        assert_eq!(grads.len(), self.layers.len(), "one LayerGrads per layer");
+        self.layers
+            .iter_mut()
+            .zip(grads)
+            .flat_map(|(l, g)| {
+                [
+                    (l.w.data_mut(), g.gw.data().to_vec()),
+                    (l.b.data_mut(), g.gb.data().to_vec()),
+                ]
+            })
+            .collect()
     }
 
     pub fn zero_grad(&mut self) {
@@ -275,6 +462,53 @@ mod tests {
         let a = mlp.forward(&x);
         let b = mlp.infer(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_row_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&[6, 16, 9, 4], Activation::Tanh, &mut rng);
+        let x = vec![0.3, -0.7, 1.4, 0.0, -2.2, 0.9];
+        let full = mlp.infer(&Matrix::from_row(&x));
+        let row = mlp.infer_row(&x);
+        assert_eq!(full.data(), row.as_slice());
+    }
+
+    #[test]
+    fn tape_backward_matches_mutable_backward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mlp = Mlp::new(&[5, 12, 7, 3], Activation::Relu, &mut rng);
+        let x = Matrix::kaiming(4, 5, &mut rng);
+        let dy = Matrix::kaiming(4, 3, &mut rng);
+
+        let tape = mlp.forward_tape(&x);
+        let tape_grads = mlp.backward_tape(&tape, &dy);
+
+        mlp.zero_grad();
+        let y = mlp.forward(&x);
+        assert_eq!(&y, tape.output());
+        mlp.backward(&dy);
+        let mutable: Vec<Vec<f32>> = mlp.params_and_grads().into_iter().map(|(_, g)| g).collect();
+        let via_tape: Vec<Vec<f32>> = tape_grads
+            .iter()
+            .flat_map(|g| [g.gw.data().to_vec(), g.gb.data().to_vec()])
+            .collect();
+        assert_eq!(mutable, via_tape, "tape grads must be bit-identical");
+    }
+
+    #[test]
+    fn layer_grads_accumulate_elementwise() {
+        let mut a = LayerGrads {
+            gw: Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            gb: Matrix::from_vec(1, 2, vec![0.5, -0.5]),
+        };
+        let b = LayerGrads {
+            gw: Matrix::from_vec(2, 2, vec![10.0, 20.0, 30.0, 40.0]),
+            gb: Matrix::from_vec(1, 2, vec![1.0, 1.0]),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.gw.data(), &[11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(a.gb.data(), &[1.5, 0.5]);
     }
 
     #[test]

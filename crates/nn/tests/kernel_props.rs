@@ -1,0 +1,157 @@
+//! Property tests: the tiled/vectorized kernels are **bit-identical** to the
+//! retained naive references across randomized shapes.
+//!
+//! This is the kernel layer's numerics contract (see `kernels` module docs):
+//! every output element is an `f32::mul_add` chain in ascending
+//! shared-dimension order seeded at +0.0, and vectorization only
+//! parallelizes *independent* elements. So no tolerance is needed — results
+//! are compared with `assert_eq!` on the raw f32 bits, including signed
+//! zeros and edge tiles. Random shapes span 0..70, which straddles every
+//! tile boundary (MR = 4, NR = 64, NR_EDGE = 8) and includes empty
+//! matrices; a curated grid below pins the exact boundary shapes that
+//! random draws might miss.
+
+use asqp_nn::kernels::{self, reference, EpilogueAct};
+use asqp_nn::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random f32s with varied magnitudes (exact ±0.0, tiny, and moderate
+/// values) so rounding behaviour, not just happy-path data, is exercised.
+fn rand_vals(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| match rng.random_range(0..8u32) {
+            0 => 0.0f32,
+            1 => -0.0f32,
+            2 => rng.random_range(-1e-6f32..1e-6),
+            _ => rng.random_range(-8.0f32..8.0),
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn check_gemm(m: usize, k: usize, n: usize, rng: &mut StdRng) {
+    let a = rand_vals(rng, m * k);
+    let b = rand_vals(rng, k * n);
+    let mut fast = vec![0.0f32; m * n];
+    let mut naive = vec![0.0f32; m * n];
+    kernels::gemm_raw(m, k, n, &a, &b, &mut fast);
+    reference::matmul(m, k, n, &a, &b, &mut naive);
+    assert_eq!(bits(&fast), bits(&naive), "gemm ({m},{k},{n})");
+}
+
+fn check_fused(m: usize, k: usize, n: usize, which: usize, rng: &mut StdRng) {
+    let a = rand_vals(rng, m * k);
+    let w = rand_vals(rng, k * n);
+    let bias_vals = rand_vals(rng, n);
+    let bias = (which != 0).then_some(bias_vals.as_slice());
+    let act = match which {
+        0 => EpilogueAct::Identity,
+        1 => EpilogueAct::Relu,
+        _ => EpilogueAct::Tanh,
+    };
+    let mut fast = vec![0.0f32; m * n];
+    let mut naive = vec![0.0f32; m * n];
+    kernels::fused_linear_into(m, k, n, &a, &w, bias, act, &mut fast);
+    reference::fused_linear(m, k, n, &a, &w, bias, act, &mut naive);
+    assert_eq!(bits(&fast), bits(&naive), "fused ({m},{k},{n}) act {which}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_bit_identical_to_reference(
+        (m, k, n) in (0usize..70, 0usize..70, 0usize..70),
+        seed in any::<u64>(),
+    ) {
+        check_gemm(m, k, n, &mut StdRng::seed_from_u64(seed));
+    }
+
+    #[test]
+    fn fused_linear_bit_identical_to_reference(
+        (m, k, n) in (0usize..70, 0usize..70, 0usize..70),
+        which in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        check_fused(m, k, n, which, &mut StdRng::seed_from_u64(seed));
+    }
+
+    /// `Matrix::t_matmul` (transpose + blocked GEMM) vs the transpose-free
+    /// naive r-order loop.
+    #[test]
+    fn t_matmul_bit_identical_to_reference(
+        (r, m, n) in (0usize..70, 0usize..70, 0usize..70),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vals(&mut rng, r * m);
+        let b = rand_vals(&mut rng, r * n);
+        let fast = Matrix::from_vec(r, m, a.clone()).t_matmul(&Matrix::from_vec(r, n, b.clone()));
+        let mut naive = vec![0.0f32; m * n];
+        reference::t_matmul(r, m, n, &a, &b, &mut naive);
+        prop_assert_eq!(bits(fast.data()), bits(&naive), "t_matmul ({},{},{})", r, m, n);
+    }
+
+    /// `Matrix::matmul_t` (transpose RHS + blocked GEMM) vs the naive
+    /// k-ordered dot products.
+    #[test]
+    fn matmul_t_bit_identical_to_reference(
+        (m, k, n) in (0usize..70, 0usize..70, 0usize..70),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vals(&mut rng, m * k);
+        let b = rand_vals(&mut rng, n * k);
+        let fast = Matrix::from_vec(m, k, a.clone()).matmul_t(&Matrix::from_vec(n, k, b.clone()));
+        let mut naive = vec![0.0f32; m * n];
+        reference::matmul_t(m, k, n, &a, &b, &mut naive);
+        prop_assert_eq!(bits(fast.data()), bits(&naive), "matmul_t ({},{},{})", m, k, n);
+    }
+
+    #[test]
+    fn transpose_round_trips(
+        (r, c) in (0usize..70, 0usize..70),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vals(&mut rng, r * c);
+        let back = Matrix::from_vec(r, c, a.clone()).transpose().transpose();
+        prop_assert_eq!(bits(back.data()), bits(&a), "transpose ({},{})", r, c);
+    }
+}
+
+/// Exact tile-boundary shapes (±1 around MR = 4, NR_EDGE = 8, NR = 64) that
+/// uniform random draws are unlikely to all hit in one run.
+#[test]
+fn gemm_pinned_tile_boundaries() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    for &m in &[1usize, 3, 4, 5, 17] {
+        for &k in &[1usize, 7, 31] {
+            for &n in &[1usize, 7, 8, 9, 63, 64, 65, 127, 128, 129] {
+                check_gemm(m, k, n, &mut rng);
+                check_fused(m, k, n, (m + n) % 3, &mut rng);
+            }
+        }
+    }
+}
+
+/// Explicit empty-matrix cases (random draws may or may not produce them).
+#[test]
+fn empty_dims_are_noops() {
+    for (m, k, n) in [(0, 5, 5), (5, 0, 5), (5, 5, 0), (0, 0, 0)] {
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut fast = vec![f32::NAN; m * n];
+        let mut naive = vec![f32::NAN; m * n];
+        kernels::gemm_raw(m, k, n, &a, &b, &mut fast);
+        reference::matmul(m, k, n, &a, &b, &mut naive);
+        assert_eq!(bits(&fast), bits(&naive), "({m},{k},{n})");
+        // k = 0 must still zero the output, not leave NaNs behind.
+        assert!(fast.iter().all(|x| *x == 0.0), "({m},{k},{n})");
+    }
+}

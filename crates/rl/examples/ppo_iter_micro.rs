@@ -1,0 +1,26 @@
+//! End-to-end PPO iteration micro-bench at the default `TrainerConfig`:
+//! `cargo run --release -p asqp-rl --example ppo_iter_micro`.
+
+use asqp_rl::{Environment, ToyCoverageEnv, Trainer, TrainerConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let env = ToyCoverageEnv::new(vec![0.5; 64], 8);
+    let cfg = TrainerConfig::default();
+    let mut trainer = Trainer::new(cfg, env.state_dim(), env.action_count());
+    for _ in 0..2 {
+        black_box(trainer.train_iteration(&env));
+    }
+    let mut times: Vec<u128> = Vec::new();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        black_box(trainer.train_iteration(&env));
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    println!(
+        "ppo_iteration (default TrainerConfig): median {:.3} ms",
+        times[times.len() / 2] as f64 / 1e6
+    );
+}

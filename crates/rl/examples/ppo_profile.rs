@@ -1,0 +1,49 @@
+//! Phase breakdown of one PPO iteration using the telemetry recorder:
+//! `cargo run --release -p asqp-rl --example ppo_profile`.
+
+use asqp_rl::{Environment, ToyCoverageEnv, Trainer, TrainerConfig};
+use asqp_telemetry::{MemoryRecorder, SpanReport};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn print_spans(nodes: &[SpanReport], depth: usize) {
+    for n in nodes {
+        println!(
+            "{:indent$}{}: n={} total={:.3} ms",
+            "",
+            n.name,
+            n.count,
+            n.total_ns as f64 / 1e6,
+            indent = depth * 2
+        );
+        print_spans(&n.children, depth + 1);
+    }
+}
+
+fn main() {
+    let env = ToyCoverageEnv::new(vec![0.5; 64], 8);
+    let mut trainer = Trainer::new(
+        TrainerConfig::default(),
+        env.state_dim(),
+        env.action_count(),
+    );
+    for _ in 0..2 {
+        black_box(trainer.train_iteration(&env));
+    }
+    let recorder = Arc::new(MemoryRecorder::new());
+    asqp_telemetry::install(recorder.clone());
+    for _ in 0..5 {
+        black_box(trainer.train_iteration(&env));
+    }
+    asqp_telemetry::uninstall();
+    let report = recorder.report();
+    print_spans(&report.spans, 0);
+    for (name, h) in &report.histograms {
+        println!(
+            "hist {name}: n={} total={:.3} ms  mean={:.1} us",
+            h.count,
+            h.sum_ns as f64 / 1e6,
+            h.mean_ns() / 1e3
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! followed by smaller fully-connected layers", softmax policy head, linear
 //! value head).
 
-use asqp_nn::{func, Activation, Matrix, Mlp};
+use asqp_nn::{func, Activation, Mlp};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -44,9 +44,7 @@ impl ActorCritic {
 
     /// Masked action probabilities for one state (inference, no caches).
     pub fn action_probs(&self, state: &[f32], mask: &[bool]) -> Vec<f32> {
-        let x = Matrix::from_row(state);
-        let logits = self.actor.infer(&x);
-        let mut row = logits.row(0).to_vec();
+        let mut row = self.actor.infer_row(state);
         func::mask_logits(&mut row, mask);
         func::softmax_in_place(&mut row);
         row
@@ -54,27 +52,45 @@ impl ActorCritic {
 
     /// State value estimate (inference).
     pub fn value(&self, state: &[f32]) -> f32 {
-        let x = Matrix::from_row(state);
-        self.critic.infer(&x).at(0, 0)
+        self.critic.infer_row(state)[0]
     }
 
-    /// Sample an action from the masked policy.
+    /// Fused rollout-path evaluation: masked action distribution and state
+    /// value from one pass over the state, using the allocation-light
+    /// single-row kernels. Bit-identical to calling [`Self::action_probs`]
+    /// and [`Self::value`] separately (same kernels, same order) — the win
+    /// is walking the state once and skipping the `Matrix` wrappers, which
+    /// dominates at rollout batch size 1.
+    pub fn probs_and_value(&self, state: &[f32], mask: &[bool]) -> (Vec<f32>, f32) {
+        let mut row = self.actor.infer_row(state);
+        func::mask_logits(&mut row, mask);
+        func::softmax_in_place(&mut row);
+        let value = self.critic.infer_row(state)[0];
+        (row, value)
+    }
+
+    /// Sample an action from the masked policy. One fused
+    /// [`Self::probs_and_value`] evaluation per call — this is the rollout
+    /// hot path.
     pub fn act(&self, state: &[f32], mask: &[bool], rng: &mut impl Rng) -> ActionSample {
         debug_assert!(mask.iter().any(|&m| m), "fully-masked state");
-        let probs = self.action_probs(state, mask);
+        let (probs, value) = self.probs_and_value(state, mask);
         let action = func::sample_categorical(&probs, rng);
         ActionSample {
             action,
             logprob: probs[action].max(1e-20).ln(),
-            value: self.value(state),
+            value,
             probs,
         }
     }
 
     /// Greedy (argmax) action — used at inference time (Algorithm 2).
+    /// Skips the softmax: argmax over masked logits equals argmax over
+    /// masked probabilities.
     pub fn act_greedy(&self, state: &[f32], mask: &[bool]) -> usize {
-        let probs = self.action_probs(state, mask);
-        func::argmax(&probs)
+        let mut row = self.actor.infer_row(state);
+        func::mask_logits(&mut row, mask);
+        func::argmax(&row)
     }
 
     pub fn param_count(&self) -> usize {
@@ -126,6 +142,17 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(greedy, best);
+    }
+
+    #[test]
+    fn fused_probs_and_value_match_separate_calls() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ac = ActorCritic::new(4, 6, &[16, 8], &mut rng);
+        let state = vec![0.2, -1.3, 0.8, 0.0];
+        let mask = vec![true, true, false, true, false, true];
+        let (probs, value) = ac.probs_and_value(&state, &mask);
+        assert_eq!(probs, ac.action_probs(&state, &mask));
+        assert_eq!(value, ac.value(&state));
     }
 
     #[test]

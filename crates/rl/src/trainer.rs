@@ -5,7 +5,7 @@
 use crate::env::Environment;
 use crate::policy::ActorCritic;
 use crate::rollout::{RolloutBuffer, StoredStep};
-use asqp_nn::{func, Adam, Matrix};
+use asqp_nn::{func, Adam, LayerGrads, Matrix};
 use asqp_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
@@ -207,8 +207,12 @@ impl Trainer {
         }
     }
 
-    /// Gradient update(s) from a rollout buffer.
-    fn update(&mut self, buf: &RolloutBuffer) -> (f32, f32, f32, f32) {
+    /// Gradient update(s) from a rollout buffer. Public so determinism
+    /// tests (and external training drivers) can feed an identical buffer
+    /// through trainers configured with different worker counts and assert
+    /// byte-identical parameters. Returns mean (policy_loss, value_loss,
+    /// entropy, approx_kl) over the minibatches.
+    pub fn update(&mut self, buf: &RolloutBuffer) -> (f32, f32, f32, f32) {
         if buf.is_empty() {
             return (0.0, 0.0, 0.0, 0.0);
         }
@@ -261,8 +265,17 @@ impl Trainer {
         )
     }
 
-    /// One minibatch gradient step. Returns (policy_loss, value_loss,
-    /// entropy, approx_kl) for the batch.
+    /// One minibatch gradient step, sharded across data-parallel workers.
+    ///
+    /// The minibatch is cut into fixed [`GRAD_SHARD_ROWS`]-row logical
+    /// shards; each shard runs an independent tape-based forward/backward
+    /// against the shared (immutable) policy, and the per-shard gradients
+    /// are reduced in shard order. The shard boundaries and the reduction
+    /// order depend only on the minibatch — never on the thread count — so
+    /// the updated parameters are byte-identical whether the shards run on
+    /// one thread or many.
+    ///
+    /// Returns (policy_loss, value_loss, entropy, approx_kl) for the batch.
     fn update_minibatch(
         &mut self,
         buf: &RolloutBuffer,
@@ -270,99 +283,86 @@ impl Trainer {
         advantages: &[f32],
         returns: &[f32],
     ) -> (f32, f32, f32, f32) {
-        let cfg = &self.config;
+        let _span = telemetry::span("rl.update_minibatch");
         let m = idx.len();
-        let state_dim = buf.steps[idx[0]].state.len();
-        let n_actions = self.policy.n_actions;
+        let use_critic = !matches!(self.config.agent, AgentKind::Reinforce);
 
-        // Batch states.
-        let mut states = Matrix::zeros(m, state_dim);
-        for (bi, &i) in idx.iter().enumerate() {
-            states.row_mut(bi).copy_from_slice(&buf.steps[i].state);
-        }
-
-        // ----- Actor forward (training mode, caches kept) -----------------
-        self.policy.actor.zero_grad();
-        let logits = self.policy.actor.forward(&states);
-        let mut dlogits = Matrix::zeros(m, n_actions);
-        let mut policy_loss = 0.0f32;
-        let mut entropy_total = 0.0f32;
-        let mut approx_kl = 0.0f32;
-
-        let use_critic = !matches!(cfg.agent, AgentKind::Reinforce);
-
-        for (bi, &i) in idx.iter().enumerate() {
-            let step = &buf.steps[i];
-            let adv = advantages[i];
-
-            // Masked probabilities under the current policy.
-            let mut row = logits.row(bi).to_vec();
-            func::mask_logits(&mut row, &step.mask);
-            let mut probs = row.clone();
-            func::softmax_in_place(&mut probs);
-            let lp_new = probs[step.action].max(1e-20).ln();
-            let entropy = func::entropy(&probs);
-            entropy_total += entropy;
-            approx_kl += step.logprob - lp_new;
-
-            // dL/d(logprob of chosen action).
-            let dl_dlp: f32 = match cfg.agent {
-                AgentKind::Ppo => {
-                    let ratio = (lp_new - step.logprob).exp();
-                    let unclipped = ratio * adv;
-                    let clipped = ratio.clamp(1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * adv;
-                    policy_loss += -unclipped.min(clipped);
-                    if unclipped <= clipped {
-                        // min picks the unclipped term → gradient flows.
-                        -ratio * adv
-                    } else {
-                        0.0
+        let shards: Vec<&[usize]> = idx.chunks(GRAD_SHARD_ROWS).collect();
+        let results: Vec<ShardGrads> = {
+            let policy = &self.policy;
+            let cfg = &self.config;
+            let threads = cfg
+                .num_workers
+                .min(shards.len())
+                .min(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                )
+                .max(1);
+            if threads <= 1 {
+                shards
+                    .iter()
+                    .map(|s| minibatch_shard(policy, cfg, buf, s, advantages, returns, m))
+                    .collect()
+            } else {
+                // Static contiguous partition of the shard list; joining the
+                // thread handles in spawn order keeps the flattened result in
+                // shard order, which the reduction below relies on.
+                let per_thread = shards.len().div_ceil(threads);
+                let mut out = Vec::with_capacity(shards.len());
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .chunks(per_thread)
+                        .map(|group| {
+                            scope.spawn(move |_| {
+                                group
+                                    .iter()
+                                    .map(|s| {
+                                        minibatch_shard(policy, cfg, buf, s, advantages, returns, m)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        out.extend(h.join().expect("gradient shard worker panicked"));
                     }
-                }
-                AgentKind::A2c | AgentKind::Reinforce => {
-                    policy_loss += -lp_new * adv;
-                    -adv
-                }
-            };
-
-            // Assemble dL/dlogits for this row.
-            let drow = dlogits.row_mut(bi);
-            for a in 0..n_actions {
-                let p = probs[a];
-                if !step.mask[a] {
-                    continue; // masked logits receive no gradient
-                }
-                let onehot = if a == step.action { 1.0 } else { 0.0 };
-                let mut g = dl_dlp * (onehot - p);
-                // Entropy bonus: L -= c_e * H  →  dL/dz = c_e * p (ln p + H).
-                if p > 0.0 {
-                    g += cfg.entropy_coef * p * (p.ln() + entropy);
-                }
-                // KL penalty (PPO only): L += c_kl * KL(old ‖ new)
-                //   → dL/dz = c_kl * (p_new − p_old).
-                if matches!(cfg.agent, AgentKind::Ppo) {
-                    g += cfg.kl_coef * (p - step.old_probs[a]);
-                }
-                drow[a] = g / m as f32;
+                })
+                .expect("crossbeam scope failed");
+                out
             }
+        };
+
+        // In-order reduction (f32 addition is not associative; see the
+        // determinism note above).
+        let mut results = results.into_iter();
+        let first = results.next().expect("minibatch has at least one shard");
+        let mut actor_grads = first.actor;
+        let mut critic_grads = first.critic;
+        let (mut policy_loss, mut value_loss) = (first.policy_loss, first.value_loss);
+        let (mut entropy_total, mut approx_kl) = (first.entropy, first.approx_kl);
+        for r in results {
+            for (acc, g) in actor_grads.iter_mut().zip(&r.actor) {
+                acc.accumulate(g);
+            }
+            if let (Some(acc_layers), Some(g_layers)) = (critic_grads.as_mut(), r.critic.as_ref()) {
+                for (acc, g) in acc_layers.iter_mut().zip(g_layers) {
+                    acc.accumulate(g);
+                }
+            }
+            policy_loss += r.policy_loss;
+            value_loss += r.value_loss;
+            entropy_total += r.entropy;
+            approx_kl += r.approx_kl;
         }
-        self.policy.actor.backward(&dlogits);
-        self.actor_opt.step(self.policy.actor.params_and_grads());
 
-        // ----- Critic forward/backward -------------------------------------
-        let mut value_loss = 0.0f32;
+        self.actor_opt
+            .step(self.policy.actor.params_with_grads(&actor_grads));
         if use_critic {
-            self.policy.critic.zero_grad();
-            let values = self.policy.critic.forward(&states);
-            let mut dv = Matrix::zeros(m, 1);
-            for (bi, &i) in idx.iter().enumerate() {
-                let v = values.at(bi, 0);
-                let err = v - returns[i];
-                value_loss += err * err;
-                *dv.at_mut(bi, 0) = cfg.value_coef * 2.0 * err / m as f32;
-            }
-            self.policy.critic.backward(&dv);
-            self.critic_opt.step(self.policy.critic.params_and_grads());
+            let cg = critic_grads.expect("critic shards ran");
+            self.critic_opt
+                .step(self.policy.critic.params_with_grads(&cg));
         }
 
         (
@@ -371,6 +371,137 @@ impl Trainer {
             entropy_total / m as f32,
             approx_kl / m as f32,
         )
+    }
+}
+
+/// Rows per gradient shard in [`Trainer::update_minibatch`]. Fixed (rather
+/// than derived from the worker count) so the floating-point reduction tree
+/// — and therefore every updated parameter bit — is the same no matter how
+/// many threads execute the shards.
+const GRAD_SHARD_ROWS: usize = 16;
+
+/// Per-shard output of [`minibatch_shard`]: layer gradients plus this
+/// shard's (unnormalised) contribution to the batch diagnostics.
+struct ShardGrads {
+    actor: Vec<LayerGrads>,
+    critic: Option<Vec<LayerGrads>>,
+    policy_loss: f32,
+    value_loss: f32,
+    entropy: f32,
+    approx_kl: f32,
+}
+
+/// Forward + backward for one gradient shard of a minibatch. Pure function
+/// of the shared policy and the shard's rows (`batch_m` is the full
+/// minibatch size — gradients are pre-divided by it so shard sums equal the
+/// whole-batch gradient), so shards can run on any thread in any order.
+#[allow(clippy::too_many_arguments)]
+fn minibatch_shard(
+    policy: &ActorCritic,
+    cfg: &TrainerConfig,
+    buf: &RolloutBuffer,
+    shard_idx: &[usize],
+    advantages: &[f32],
+    returns: &[f32],
+    batch_m: usize,
+) -> ShardGrads {
+    let rows = shard_idx.len();
+    let state_dim = buf.steps[shard_idx[0]].state.len();
+    let n_actions = policy.n_actions;
+    let mut states = Matrix::zeros(rows, state_dim);
+    for (bi, &i) in shard_idx.iter().enumerate() {
+        states.row_mut(bi).copy_from_slice(&buf.steps[i].state);
+    }
+
+    // ----- Actor: tape forward, per-row dL/dlogits, tape backward ---------
+    let actor_tape = policy.actor.forward_tape(&states);
+    let logits = actor_tape.output();
+    let mut dlogits = Matrix::zeros(rows, n_actions);
+    let mut policy_loss = 0.0f32;
+    let mut entropy_total = 0.0f32;
+    let mut approx_kl = 0.0f32;
+
+    for (bi, &i) in shard_idx.iter().enumerate() {
+        let step = &buf.steps[i];
+        let adv = advantages[i];
+
+        // Masked probabilities under the current policy.
+        let mut row = logits.row(bi).to_vec();
+        func::mask_logits(&mut row, &step.mask);
+        let mut probs = row.clone();
+        func::softmax_in_place(&mut probs);
+        let lp_new = probs[step.action].max(1e-20).ln();
+        let entropy = func::entropy(&probs);
+        entropy_total += entropy;
+        approx_kl += step.logprob - lp_new;
+
+        // dL/d(logprob of chosen action).
+        let dl_dlp: f32 = match cfg.agent {
+            AgentKind::Ppo => {
+                let ratio = (lp_new - step.logprob).exp();
+                let unclipped = ratio * adv;
+                let clipped = ratio.clamp(1.0 - cfg.clip_epsilon, 1.0 + cfg.clip_epsilon) * adv;
+                policy_loss += -unclipped.min(clipped);
+                if unclipped <= clipped {
+                    // min picks the unclipped term → gradient flows.
+                    -ratio * adv
+                } else {
+                    0.0
+                }
+            }
+            AgentKind::A2c | AgentKind::Reinforce => {
+                policy_loss += -lp_new * adv;
+                -adv
+            }
+        };
+
+        // Assemble dL/dlogits for this row.
+        let drow = dlogits.row_mut(bi);
+        for a in 0..n_actions {
+            let p = probs[a];
+            if !step.mask[a] {
+                continue; // masked logits receive no gradient
+            }
+            let onehot = if a == step.action { 1.0 } else { 0.0 };
+            let mut g = dl_dlp * (onehot - p);
+            // Entropy bonus: L -= c_e * H  →  dL/dz = c_e * p (ln p + H).
+            if p > 0.0 {
+                g += cfg.entropy_coef * p * (p.ln() + entropy);
+            }
+            // KL penalty (PPO only): L += c_kl * KL(old ‖ new)
+            //   → dL/dz = c_kl * (p_new − p_old).
+            if matches!(cfg.agent, AgentKind::Ppo) {
+                g += cfg.kl_coef * (p - step.old_probs[a]);
+            }
+            drow[a] = g / batch_m as f32;
+        }
+    }
+    let actor = policy.actor.backward_tape(&actor_tape, &dlogits);
+
+    // ----- Critic: tape forward/backward -----------------------------------
+    let mut value_loss = 0.0f32;
+    let critic = if matches!(cfg.agent, AgentKind::Reinforce) {
+        None
+    } else {
+        let critic_tape = policy.critic.forward_tape(&states);
+        let values = critic_tape.output();
+        let mut dv = Matrix::zeros(rows, 1);
+        for (bi, &i) in shard_idx.iter().enumerate() {
+            let v = values.at(bi, 0);
+            let err = v - returns[i];
+            value_loss += err * err;
+            *dv.at_mut(bi, 0) = cfg.value_coef * 2.0 * err / batch_m as f32;
+        }
+        Some(policy.critic.backward_tape(&critic_tape, &dv))
+    };
+
+    ShardGrads {
+        actor,
+        critic,
+        policy_loss,
+        value_loss,
+        entropy: entropy_total,
+        approx_kl,
     }
 }
 
