@@ -22,6 +22,7 @@ use asqp_bench::workloads;
 use asqp_core::{preprocess, AsqpConfig, PreprocessConfig, Session, SessionConfig};
 use asqp_db::{execute_with_options, Database, ExecMode, ExecOptions, Query};
 use asqp_rl::{AgentKind, Environment, ToyCoverageEnv, Trainer, TrainerConfig};
+use asqp_serve::{run_sim, FaultPlan, MirrorBackend, RetryPolicy, ServeConfig, Server, SimConfig};
 use asqp_telemetry::MemoryRecorder;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -165,13 +166,67 @@ fn session_bench(samples: usize, out: &mut Vec<BenchResult>) {
         auto_fine_tune: false,
         ..SessionConfig::default()
     };
-    let mut session = Session::new(&db, model, cfg).expect("session builds");
+    let session = Session::new(Arc::new(db), model, cfg).expect("session builds");
     out.push(measure("session/query_mix", 1, samples, || {
         let mut rows = 0usize;
         for q in &w.queries {
             rows += session.query(q).unwrap().0.rows.len();
         }
         rows
+    }));
+}
+
+/// Gated serving benches. `serve/throughput` pushes a 64-request mix
+/// through the bounded worker pool with fault injection disabled — it
+/// tracks the cost of admission, routing, dispatch and reply plumbing on
+/// top of raw execution. `serve/sim_chaos` runs the deterministic
+/// discrete-event chaos simulation (virtual clock, no sleeps): pure
+/// compute, so it gates the chaos machinery itself.
+fn serve_benches(reduced: bool, samples: usize, out: &mut Vec<BenchResult>) {
+    let fact_rows = if reduced { 5_000 } else { 20_000 };
+    let db = Arc::new(workloads::star_db(fact_rows));
+    let server = Server::start(
+        MirrorBackend::single(db, 50),
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            deadline_ns: 0,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::disabled(),
+        },
+    );
+    let mix: Vec<Query> = [
+        workloads::scan_query(),
+        workloads::clustered_query(fact_rows),
+        workloads::unclustered_query(),
+    ]
+    .into_iter()
+    .cycle()
+    .take(64)
+    .collect();
+    let warmup = (samples / 4).max(1);
+    out.push(measure("serve/throughput", warmup, samples, || {
+        let tickets: Vec<_> = mix
+            .iter()
+            .map(|q| {
+                server
+                    .submit(q.clone())
+                    .expect("queue depth is above the burst")
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().expect("no faults injected").rows.rows.len())
+            .sum::<usize>()
+    }));
+    server.shutdown();
+
+    let sim_cfg = SimConfig {
+        requests: if reduced { 256 } else { 1024 },
+        ..SimConfig::chaos(7)
+    };
+    out.push(measure("serve/sim_chaos", warmup, samples, || {
+        run_sim(&sim_cfg).log.len()
     }));
 }
 
@@ -212,6 +267,7 @@ fn main() -> ExitCode {
     nn_benches(args.reduced, exec_samples, slow_samples, &mut benches);
     rl_bench(slow_samples, &mut benches);
     session_bench(slow_samples, &mut benches);
+    serve_benches(args.reduced, exec_samples, &mut benches);
     preprocess_bench(slow_samples, &mut benches);
 
     asqp_telemetry::uninstall();

@@ -6,18 +6,27 @@
 //! ([`crate::measure::calibration_ns`]): a baseline recorded on hardware
 //! 2× faster than CI would otherwise flag every bench as a regression.
 //! Only benches whose name starts with a gated prefix (`scan`, `join`,
-//! `zonemap`, `nn_matmul`, `ppo_update`) fail the gate — full
+//! `zonemap`, `nn_matmul`, `ppo_update`, `serve`) fail the gate — full
 //! model-training benches are tracked in the report but too noisy to gate
 //! on. The two NN prefixes are gateable because their fixtures are seeded
 //! and their kernels bit-deterministic, so run-to-run variance is down to
-//! machine noise that the calibration rescale absorbs.
+//! machine noise that the calibration rescale absorbs; the serve benches
+//! run with fault injection disabled (throughput) or on a virtual clock
+//! (the chaos simulator), so they carry no sleep-induced noise.
 
 use crate::measure::BenchResult;
 use asqp_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 /// Bench names gated by [`compare`]; everything else is informational.
-pub const GATED_PREFIXES: &[&str] = &["scan", "join", "zonemap", "nn_matmul", "ppo_update"];
+pub const GATED_PREFIXES: &[&str] = &[
+    "scan",
+    "join",
+    "zonemap",
+    "nn_matmul",
+    "ppo_update",
+    "serve",
+];
 
 /// Current report schema; bump when fields change incompatibly.
 pub const SCHEMA_VERSION: u64 = 1;

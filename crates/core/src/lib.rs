@@ -57,5 +57,5 @@ pub use model::{fine_tune, train, AsqpConfig, ModelSnapshot, TrainedModel};
 pub use preprocess::{
     preprocess, relax_query, Action, ActionSpace, PreprocessConfig, Preprocessed,
 };
-pub use session::{AnswerSource, Session, SessionConfig, SessionStats};
+pub use session::{AnswerSource, RoutePlan, Session, SessionConfig, SessionState, SessionStats};
 pub use workload_synth::{detect_joins, synthesize_workload, JoinEdge};

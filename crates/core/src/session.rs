@@ -1,14 +1,29 @@
 //! The user-facing inference session (paper §4.4 / Figure 1b): each query
 //! is routed either to the approximation set or to the full database by the
 //! answerability estimator; confidently-deviating queries accumulate and,
-//! at three or more, trigger interest-drift fine-tuning (challenge C5).
+//! at three or more *consecutive* misses, trigger interest-drift
+//! fine-tuning (challenge C5). A confident hit — the estimator recognising
+//! a query as answerable from `S` — breaks the miss streak and resets the
+//! counter.
+//!
+//! The session is **thread-shareable**: all interior state (the
+//! model-derived routing state, the drift tracker, the statistics) lives
+//! behind interior locks, so `asqp-serve` can fan queries out from a pool
+//! of worker threads over one `Arc<Session>`. The routing pipeline is also
+//! decomposed into [`Session::plan`] / [`Session::answer_subset`] /
+//! [`Session::answer_full`] / [`Session::finish`] so a serving layer can
+//! interleave its own deadline and degradation logic between the routing
+//! decision and the answer; [`Session::query`] composes them for the
+//! simple synchronous path.
 
 use crate::aggregates::approximate_aggregate;
-use crate::estimator::AnswerabilityEstimator;
+use crate::estimator::{AnswerabilityEstimator, Prediction};
 use crate::model::{fine_tune, TrainedModel};
 use asqp_db::{Database, DbResult, Query, ResultSet};
 use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 /// Where an answer came from.
@@ -18,7 +33,7 @@ pub enum AnswerSource {
     FullDatabase,
 }
 
-/// Session telemetry.
+/// Point-in-time snapshot of session telemetry (see [`Session::stats`]).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SessionStats {
     pub queries: usize,
@@ -34,9 +49,11 @@ pub struct SessionConfig {
     /// Predicted-score threshold below which the full DB is queried.
     pub answer_threshold: f64,
     /// A query "deviates" when its predicted score is below the answer
-    /// threshold *and* the deviation confidence exceeds this value.
+    /// threshold *and* the deviation confidence exceeds this value. A
+    /// subset hit whose estimator confidence reaches the same bar resets
+    /// the consecutive-miss counter.
     pub drift_confidence: f64,
-    /// Number of deviating queries that triggers fine-tuning.
+    /// Number of consecutive deviating queries that triggers fine-tuning.
     pub drift_trigger: usize,
     /// Disable automatic fine-tuning (drift queries still tracked).
     pub auto_fine_tune: bool,
@@ -53,113 +70,228 @@ impl Default for SessionConfig {
     }
 }
 
-/// A live exploration session over a trained model.
-pub struct Session<'a> {
-    full_db: &'a Database,
+/// The model-derived routing state, replaced wholesale by fine-tuning.
+/// Reached through [`Session::state`].
+pub struct SessionState {
     pub model: TrainedModel,
     pub subset: Database,
     pub estimator: AnswerabilityEstimator,
-    pub config: SessionConfig,
-    pub stats: SessionStats,
-    drift_queries: Vec<Query>,
 }
 
-impl<'a> Session<'a> {
-    /// Materialise the approximation set and fit the estimator.
-    pub fn new(
-        full_db: &'a Database,
-        model: TrainedModel,
-        config: SessionConfig,
-    ) -> DbResult<Self> {
+impl SessionState {
+    fn build(full_db: &Database, model: TrainedModel) -> DbResult<SessionState> {
         let subset = model.materialize(full_db, None)?;
         let estimator =
             AnswerabilityEstimator::fit(&model, full_db, &subset, model.config.metric_params())?;
-        Ok(Session {
-            full_db,
+        Ok(SessionState {
             model,
             subset,
             estimator,
-            config,
-            stats: SessionStats::default(),
-            drift_queries: Vec::new(),
         })
+    }
+}
+
+/// The estimator's verdict for one query: the interior routing plan a
+/// serving layer acts on (and reports back through [`Session::finish`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePlan {
+    pub prediction: Prediction,
+    /// `true` → answer from the approximation set.
+    pub answerable: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicUsize,
+    subset_answers: AtomicUsize,
+    full_db_answers: AtomicUsize,
+    fine_tunes: AtomicUsize,
+}
+
+/// A live exploration session over a trained model, shareable across
+/// threads (`&self` methods throughout).
+pub struct Session {
+    full_db: Arc<Database>,
+    pub config: SessionConfig,
+    state: RwLock<SessionState>,
+    /// Consecutive confidently-deviating queries since the last confident
+    /// hit or fine-tune.
+    drift: Mutex<Vec<Query>>,
+    counters: Counters,
+}
+
+impl Session {
+    /// Materialise the approximation set and fit the estimator.
+    pub fn new(
+        full_db: Arc<Database>,
+        model: TrainedModel,
+        config: SessionConfig,
+    ) -> DbResult<Self> {
+        let state = SessionState::build(&full_db, model)?;
+        Ok(Session {
+            full_db,
+            config,
+            state: RwLock::new(state),
+            drift: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The full database this session falls back to.
+    pub fn full_db(&self) -> &Arc<Database> {
+        &self.full_db
+    }
+
+    /// Read access to the model-derived state (estimator, subset, model).
+    /// The guard blocks fine-tuning while held — keep it short-lived.
+    pub fn state(&self) -> RwLockReadGuard<'_, SessionState> {
+        self.state.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Snapshot of the session statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            subset_answers: self.counters.subset_answers.load(Ordering::Relaxed),
+            full_db_answers: self.counters.full_db_answers.load(Ordering::Relaxed),
+            fine_tunes: self.counters.fine_tunes.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of deviating queries currently accumulated.
     pub fn pending_drift(&self) -> usize {
-        self.drift_queries.len()
+        self.drift.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
-    /// Answer a query (Figure 1b): consult the estimator, route, and track
-    /// drift. Aggregates answered from the subset are scale-corrected.
-    /// With a telemetry recorder installed, each call emits the route
-    /// decision and a subset-vs-full-DB latency observation.
-    pub fn query(&mut self, q: &Query) -> DbResult<(ResultSet, AnswerSource)> {
-        let _query_span = telemetry::span("session.query");
-        let t0 = telemetry::enabled().then(Instant::now);
-        self.stats.queries += 1;
-        telemetry::counter("session.queries", 1);
-        let pred = self.estimator.predict(q);
-        telemetry::gauge("session.predicted_score", pred.score);
-        let answerable = pred.score >= self.config.answer_threshold;
-
-        if answerable {
-            self.stats.subset_answers += 1;
-            let rs = if q.is_aggregate() {
-                approximate_aggregate(self.full_db, &self.subset, q)?
-            } else {
-                self.subset.execute(q)?
-            };
-            telemetry::counter("session.route.subset", 1);
-            if let Some(t0) = t0 {
-                telemetry::observe_duration("session.latency.subset_ns", t0.elapsed());
-            }
-            return Ok((rs, AnswerSource::ApproximationSet));
+    /// Consult the estimator and decide the route for `q` (pure: no
+    /// statistics or drift bookkeeping — that happens in [`finish`]).
+    ///
+    /// [`finish`]: Session::finish
+    pub fn plan(&self, q: &Query) -> RoutePlan {
+        let prediction = self.state().estimator.predict(q);
+        RoutePlan {
+            prediction,
+            answerable: prediction.score >= self.config.answer_threshold,
         }
+    }
+
+    /// Answer `q` from the approximation set. Aggregates are
+    /// scale-corrected against the full database (§6.4).
+    pub fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        let state = self.state();
+        if q.is_aggregate() {
+            approximate_aggregate(&self.full_db, &state.subset, q)
+        } else {
+            state.subset.execute(q)
+        }
+    }
+
+    /// Answer `q` from the full database.
+    pub fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        self.full_db.execute(q)
+    }
+
+    /// Record the outcome of one routed query: statistics, the
+    /// consecutive-miss drift counter (a miss with deviation certainty
+    /// ≥ `drift_confidence` extends the streak; an answerable query whose
+    /// estimator confidence reaches the same bar resets it), and — at
+    /// `drift_trigger` consecutive misses — automatic fine-tuning.
+    /// Returns `true` when a fine-tune ran.
+    pub fn finish(&self, q: &Query, plan: &RoutePlan) -> DbResult<bool> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("session.queries", 1);
+
+        if plan.answerable {
+            self.counters.subset_answers.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("session.route.subset", 1);
+            // A confident hit breaks the miss streak: the estimator still
+            // recognises the user's interest region, so the accumulated
+            // deviations were noise, not drift.
+            if plan.prediction.confidence >= self.config.drift_confidence {
+                let mut drift = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+                if !drift.is_empty() {
+                    telemetry::counter("session.drift.reset", 1);
+                    drift.clear();
+                }
+            }
+            return Ok(false);
+        }
+
+        self.counters
+            .full_db_answers
+            .fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("session.route.full_db", 1);
 
         // Deviation: low predicted score. High confidence means the query
         // is *similar* to training yet predicted unanswerable — a genuine
         // gap; low confidence means it is simply far from the workload.
         // Both are drift signals; the paper gates on confidence ≥ 0.8,
         // which we read as deviation certainty (1 − predicted score).
-        let deviation_certainty = 1.0 - pred.score;
+        let deviation_certainty = 1.0 - plan.prediction.score;
+        let mut should_fine_tune = false;
         if deviation_certainty >= self.config.drift_confidence {
-            self.drift_queries.push(q.clone());
+            let mut drift = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+            drift.push(q.clone());
             telemetry::counter("session.drift.detected", 1);
+            should_fine_tune =
+                self.config.auto_fine_tune && drift.len() >= self.config.drift_trigger;
+        }
+        if should_fine_tune {
+            self.run_fine_tune()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Answer a query (Figure 1b): consult the estimator, route, and track
+    /// drift. Aggregates answered from the subset are scale-corrected.
+    /// With a telemetry recorder installed, each call emits the route
+    /// decision and a subset-vs-full-DB latency observation.
+    pub fn query(&self, q: &Query) -> DbResult<(ResultSet, AnswerSource)> {
+        let _query_span = telemetry::span("session.query");
+        let t0 = telemetry::enabled().then(Instant::now);
+        let plan = self.plan(q);
+        telemetry::gauge("session.predicted_score", plan.prediction.score);
+
+        if plan.answerable {
+            let rs = self.answer_subset(q)?;
+            self.finish(q, &plan)?;
+            if let Some(t0) = t0 {
+                telemetry::observe_duration("session.latency.subset_ns", t0.elapsed());
+            }
+            return Ok((rs, AnswerSource::ApproximationSet));
         }
 
-        self.stats.full_db_answers += 1;
-        let rs = self.full_db.execute(q)?;
-        telemetry::counter("session.route.full_db", 1);
+        let rs = self.answer_full(q)?;
+        self.finish(q, &plan)?;
         if let Some(t0) = t0 {
             telemetry::observe_duration("session.latency.full_db_ns", t0.elapsed());
-        }
-
-        if self.config.auto_fine_tune && self.drift_queries.len() >= self.config.drift_trigger {
-            self.run_fine_tune()?;
         }
         Ok((rs, AnswerSource::FullDatabase))
     }
 
-    /// Force a fine-tuning pass on the accumulated drift queries.
-    pub fn run_fine_tune(&mut self) -> DbResult<()> {
-        if self.drift_queries.is_empty() {
+    /// Force a fine-tuning pass on the accumulated drift queries. The new
+    /// model is trained outside the state lock — concurrent readers keep
+    /// routing against the old state until the atomic swap at the end.
+    pub fn run_fine_tune(&self) -> DbResult<()> {
+        // Taking the queries up front also serialises concurrent callers:
+        // the second one sees an empty drift set and returns immediately.
+        let drift = {
+            let mut guard = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        if drift.is_empty() {
             return Ok(());
         }
         let _ft_span = telemetry::span("session.fine_tune");
         telemetry::counter("session.fine_tune.runs", 1);
-        let drift = std::mem::take(&mut self.drift_queries);
+        let old_model = self.state().model.clone();
         // Boost each drift query to the weight mass of the average original.
-        let boost = 1.0 / self.model.train_workload.len().max(1) as f64;
-        self.model = fine_tune(self.full_db, &self.model, &drift, boost)?;
-        self.subset = self.model.materialize(self.full_db, None)?;
-        self.estimator = AnswerabilityEstimator::fit(
-            &self.model,
-            self.full_db,
-            &self.subset,
-            self.model.config.metric_params(),
-        )?;
-        self.stats.fine_tunes += 1;
+        let boost = 1.0 / old_model.train_workload.len().max(1) as f64;
+        let new_model = fine_tune(&self.full_db, &old_model, &drift, boost)?;
+        let new_state = SessionState::build(&self.full_db, new_model)?;
+        *self.state.write().unwrap_or_else(|p| p.into_inner()) = new_state;
+        self.counters.fine_tunes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -182,9 +314,22 @@ mod tests {
         cfg
     }
 
+    fn alien_queries() -> Vec<Query> {
+        [
+            "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'q%'",
+            "SELECT p.name FROM person p WHERE p.gender = 'm' AND p.name LIKE 'w%'",
+            "SELECT p.name FROM person p WHERE p.name LIKE 'e%'",
+            "SELECT p.name FROM person p WHERE p.name LIKE 'zzz%' AND p.gender = 'f'",
+            "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'x%'",
+        ]
+        .iter()
+        .map(|t| asqp_db::sql::parse(t).unwrap())
+        .collect()
+    }
+
     #[test]
     fn session_routes_known_queries_to_subset() {
-        let db = imdb::generate(Scale::Tiny, 1);
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
         let w = imdb::workload(12, 1);
         let model = train(&db, &w, &quick_config()).unwrap();
         // The unit-test budget (k=60 across 12 queries) yields fractions
@@ -193,7 +338,7 @@ mod tests {
             answer_threshold: 0.25,
             ..SessionConfig::default()
         };
-        let mut session = Session::new(&db, model, cfg).unwrap();
+        let session = Session::new(db, model, cfg).unwrap();
 
         let mut subset_hits = 0;
         for q in &w.queries {
@@ -206,19 +351,19 @@ mod tests {
             subset_hits > 0,
             "some training queries must be answered from the subset"
         );
-        assert_eq!(session.stats.queries, 12);
+        assert_eq!(session.stats().queries, 12);
     }
 
     #[test]
     fn unknown_queries_fall_back_to_full_db_and_accumulate_drift() {
-        let db = imdb::generate(Scale::Tiny, 1);
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
         let w = imdb::workload(8, 1);
         let model = train(&db, &w, &quick_config()).unwrap();
         let cfg = SessionConfig {
             auto_fine_tune: false,
             ..SessionConfig::default()
         };
-        let mut session = Session::new(&db, model, cfg).unwrap();
+        let session = Session::new(db, model, cfg).unwrap();
 
         // A MAS-style query the IMDB model has never seen (unknown tables
         // would fail execution, so use an IMDB table with an alien shape).
@@ -228,46 +373,100 @@ mod tests {
         .unwrap();
         let (_, src) = session.query(&alien).unwrap();
         assert_eq!(src, AnswerSource::FullDatabase);
-        assert!(session.stats.full_db_answers >= 1);
+        assert!(session.stats().full_db_answers >= 1);
     }
 
     #[test]
     fn fine_tune_triggers_after_drift_trigger_queries() {
-        let db = imdb::generate(Scale::Tiny, 1);
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
         let w = imdb::workload(8, 2);
         let model = train(&db, &w, &quick_config()).unwrap();
         let cfg = SessionConfig {
             drift_trigger: 2,
             ..SessionConfig::default()
         };
-        let mut session = Session::new(&db, model, cfg).unwrap();
+        let session = Session::new(db, model, cfg).unwrap();
 
-        let drift = [
-            "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'q%'",
-            "SELECT p.name FROM person p WHERE p.gender = 'm' AND p.name LIKE 'w%'",
-            "SELECT p.name FROM person p WHERE p.name LIKE 'e%'",
-        ];
-        for t in drift {
-            let q = asqp_db::sql::parse(t).unwrap();
-            session.query(&q).unwrap();
+        for q in alien_queries().iter().take(3) {
+            session.query(q).unwrap();
         }
         assert!(
-            session.stats.fine_tunes >= 1 || session.pending_drift() < 2,
+            session.stats().fine_tunes >= 1 || session.pending_drift() < 2,
             "drift accumulation must trigger fine-tuning: {:?}",
-            session.stats
+            session.stats()
         );
+    }
+
+    /// Regression for the consecutive-miss semantics: a confident hit in
+    /// the middle of a miss streak resets the counter, so the ≥3-miss
+    /// fine-tune trigger only fires on three *consecutive* misses.
+    #[test]
+    fn confident_hit_resets_consecutive_miss_counter() {
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+        let w = imdb::workload(12, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        // drift_confidence 0.0: every miss extends the streak and every
+        // hit (training queries have estimator confidence 1.0) resets it,
+        // making the boundary deterministic.
+        let cfg = SessionConfig {
+            answer_threshold: 0.25,
+            drift_confidence: 0.0,
+            drift_trigger: 3,
+            auto_fine_tune: true,
+        };
+        let session = Session::new(db, model, cfg).unwrap();
+
+        let hit = w
+            .queries
+            .iter()
+            .find(|q| session.plan(q).answerable)
+            .expect("at least one training query routes to the subset")
+            .clone();
+        let aliens: Vec<Query> = alien_queries()
+            .into_iter()
+            .filter(|q| !session.plan(q).answerable)
+            .collect();
+        assert!(
+            aliens.len() >= 3,
+            "need ≥3 missing queries for the boundary"
+        );
+
+        // Two misses, then a confident hit: streak resets, no fine-tune.
+        for q in aliens.iter().take(2) {
+            session.query(q).unwrap();
+        }
+        assert_eq!(session.pending_drift(), 2);
+        session.query(&hit).unwrap();
+        assert_eq!(
+            session.pending_drift(),
+            0,
+            "a confident hit must reset the consecutive-miss counter"
+        );
+
+        // Two more misses stay under the trigger (would have fired at 3
+        // and 4 without the reset)...
+        for q in aliens.iter().take(2) {
+            session.query(q).unwrap();
+        }
+        assert_eq!(session.stats().fine_tunes, 0);
+        assert_eq!(session.pending_drift(), 2);
+
+        // ...and the third consecutive miss fires exactly at the boundary.
+        session.query(&aliens[2]).unwrap();
+        assert_eq!(session.stats().fine_tunes, 1);
+        assert_eq!(session.pending_drift(), 0, "fine-tune consumes the streak");
     }
 
     #[test]
     fn aggregates_answered_from_subset_are_scaled() {
-        let db = imdb::generate(Scale::Tiny, 1);
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
         let w = imdb::workload(12, 1);
         let model = train(&db, &w, &quick_config()).unwrap();
         let cfg = SessionConfig {
             answer_threshold: 0.0, // force subset answering
             ..SessionConfig::default()
         };
-        let mut session = Session::new(&db, model, cfg).unwrap();
+        let session = Session::new(db.clone(), model, cfg).unwrap();
         let agg =
             asqp_db::sql::parse("SELECT COUNT(*) FROM title t WHERE t.production_year > 1900")
                 .unwrap();
@@ -278,5 +477,35 @@ mod tests {
         let truth = db.execute(&agg).unwrap().rows[0][0].as_i64().unwrap() as f64;
         let pred = rs.rows[0][0].as_f64().unwrap();
         assert!(pred > 0.0 && pred <= truth * 20.0);
+    }
+
+    #[test]
+    fn session_is_shareable_across_threads() {
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+        let w = imdb::workload(12, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        let cfg = SessionConfig {
+            answer_threshold: 0.25,
+            auto_fine_tune: false,
+            ..SessionConfig::default()
+        };
+        let session = Arc::new(Session::new(db, model, cfg).unwrap());
+
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let session = Arc::clone(&session);
+                let queries = w.queries.clone();
+                s.spawn(move || {
+                    for q in queries.iter().skip(t).step_by(4) {
+                        session.query(q).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(session.stats().queries, 12);
+        assert_eq!(
+            session.stats().subset_answers + session.stats().full_db_answers,
+            12
+        );
     }
 }

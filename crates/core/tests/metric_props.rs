@@ -1,0 +1,185 @@
+//! Metamorphic properties of the approximation-quality metric (Eq. 1):
+//!
+//! 1. **Weight-scale invariance** — multiplying every workload weight by
+//!    the same positive constant leaves the score unchanged (weights are
+//!    normalised to sum to 1).
+//! 2. **Superset monotonicity** — growing the approximation set `S ⊆ S'`
+//!    can never lower the score: every per-query answer over `S'` contains
+//!    the answer over `S`.
+//! 3. **Bounds** — every score lies in `[0, 1]`, for any subset and any
+//!    frame size.
+//!
+//! Each property runs against randomly generated range/point workloads and
+//! random row subsets, seeded through the proptest harness.
+
+use asqp_core::metric::{per_query_fractions, score, FullCounts, MetricParams};
+use asqp_db::{sql, Database, Schema, Value, ValueType, Workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const ROWS: i64 = 200;
+
+/// `t(x, y)` with `x = 0..200` and `y = x mod 7`.
+fn test_db() -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "t",
+            Schema::build(&[("x", ValueType::Int), ("y", ValueType::Int)]),
+        )
+        .unwrap();
+    for i in 0..ROWS {
+        t.push_row(&[Value::Int(i), Value::Int(i % 7)]).unwrap();
+    }
+    db
+}
+
+/// A random mix of range and point queries over `t`.
+fn gen_queries(rng: &mut StdRng) -> Vec<asqp_db::Query> {
+    let n = rng.random_range(2..7usize);
+    (0..n)
+        .map(|_| {
+            let text = match rng.random_range(0..3u8) {
+                0 => format!(
+                    "SELECT t.x FROM t WHERE t.x < {}",
+                    rng.random_range(0..ROWS + 50)
+                ),
+                1 => {
+                    let a = rng.random_range(0..ROWS);
+                    format!(
+                        "SELECT t.x FROM t WHERE t.x >= {a} AND t.x < {}",
+                        a + rng.random_range(1..80i64)
+                    )
+                }
+                _ => format!(
+                    "SELECT t.x FROM t WHERE t.y = {}",
+                    rng.random_range(0..9i64)
+                ),
+            };
+            sql::parse(&text).unwrap()
+        })
+        .collect()
+}
+
+fn gen_weights(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.random_range(0.05..5.0)).collect()
+}
+
+/// A random strict subset of row indices for table `t`.
+fn gen_selection(rng: &mut StdRng) -> Vec<usize> {
+    let keep = rng.random_range(0..=ROWS as usize);
+    let mut idx: Vec<usize> = (0..ROWS as usize).collect();
+    // Fisher–Yates prefix shuffle, then sort the kept prefix.
+    for i in 0..keep {
+        let j = rng.random_range(i..ROWS as usize);
+        idx.swap(i, j);
+    }
+    let mut sel = idx[..keep].to_vec();
+    sel.sort_unstable();
+    sel
+}
+
+fn subset_of(db: &Database, rows: &[usize]) -> Database {
+    let mut sel = BTreeMap::new();
+    sel.insert("t".to_string(), rows.to_vec());
+    db.subset(&sel).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: score(S; c·w) == score(S; w) for any scale c > 0.
+    #[test]
+    fn score_is_invariant_under_uniform_weight_scaling(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let scale = rng.random_range(0.01..100.0);
+        let params = MetricParams::new(rng.random_range(1..120usize));
+        let sub = subset_of(&db, &gen_selection(&mut rng));
+
+        let base = Workload::weighted(queries.clone(), weights.clone());
+        let scaled = Workload::weighted(queries, weights.iter().map(|w| w * scale).collect());
+        let s1 = score(&db, &sub, &base, params).unwrap();
+        let s2 = score(&db, &sub, &scaled, params).unwrap();
+        prop_assert!(
+            (s1 - s2).abs() < 1e-9,
+            "weight scaling by {scale} changed the score: {s1} vs {s2}"
+        );
+    }
+
+    /// Property 2: S ⊆ S' ⇒ score(S) ≤ score(S'), per query and in total.
+    #[test]
+    fn score_is_monotone_under_supersets(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50);
+        let db = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let workload = Workload::weighted(queries, weights);
+        let params = MetricParams::new(rng.random_range(1..120usize));
+        let full = FullCounts::compute(&db, &workload).unwrap();
+
+        // Build S, then S' = S ∪ extra rows.
+        let small = gen_selection(&mut rng);
+        let mut big = small.clone();
+        for _ in 0..rng.random_range(1..80usize) {
+            big.push(rng.random_range(0..ROWS as usize));
+        }
+        big.sort_unstable();
+        big.dedup();
+
+        let sub_small = subset_of(&db, &small);
+        let sub_big = subset_of(&db, &big);
+        let f_small = per_query_fractions(&sub_small, &workload, &full, params).unwrap();
+        let f_big = per_query_fractions(&sub_big, &workload, &full, params).unwrap();
+        for (i, (a, b)) in f_small.iter().zip(&f_big).enumerate() {
+            prop_assert!(
+                b >= &(a - 1e-12),
+                "query {i}: fraction dropped from {a} to {b} under a superset"
+            );
+        }
+        let s_small = score(&db, &sub_small, &workload, params).unwrap();
+        let s_big = score(&db, &sub_big, &workload, params).unwrap();
+        prop_assert!(s_big >= s_small - 1e-12, "superset lowered score: {s_small} -> {s_big}");
+    }
+
+    /// Property 3: 0 ≤ score ≤ 1 and every per-query fraction ∈ [0, 1].
+    #[test]
+    fn score_and_fractions_are_bounded(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0);
+        let db = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let workload = Workload::weighted(queries, weights);
+        let params = MetricParams::new(rng.random_range(1..500usize));
+        let sub = subset_of(&db, &gen_selection(&mut rng));
+
+        let s = score(&db, &sub, &workload, params).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "score out of bounds: {s}");
+
+        let full = FullCounts::compute(&db, &workload).unwrap();
+        for (i, f) in per_query_fractions(&sub, &workload, &full, params)
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            prop_assert!((0.0..=1.0).contains(f), "fraction {i} out of bounds: {f}");
+        }
+    }
+}
+
+/// The full database is always a perfect approximation of itself — the
+/// fixed point the metamorphic chain converges to.
+#[test]
+fn full_database_scores_exactly_one() {
+    let db = test_db();
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries = gen_queries(&mut rng);
+    let weights = gen_weights(&mut rng, queries.len());
+    let w = Workload::weighted(queries, weights);
+    let s = score(&db, &db, &w, MetricParams::default()).unwrap();
+    assert!((s - 1.0).abs() < 1e-12, "self-score must be 1, got {s}");
+}

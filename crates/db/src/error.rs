@@ -1,6 +1,23 @@
 //! Error types for the relational substrate.
+//!
+//! Errors are split into two classes (see [`DbError::class`]): **fatal**
+//! errors name a defect in the query or catalog that no amount of retrying
+//! will cure (unknown table, parse error, type mismatch), while
+//! **transient** errors describe a momentary executor condition — resource
+//! contention, an interrupted scan, a backend deadline — that a serving
+//! layer may retry with backoff. The `asqp-serve` retry and degradation
+//! ladder keys off this split.
 
 use std::fmt;
+
+/// Retry classification of a [`DbError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Momentary executor condition; retrying may succeed.
+    Transient,
+    /// Defect in the query or catalog; retrying cannot succeed.
+    Fatal,
+}
 
 /// Every fallible operation in `asqp-db` returns this error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +38,31 @@ pub enum DbError {
     InvalidQuery(String),
     /// An identifier collided with an existing object.
     Duplicate(String),
+    /// Transient: the executor was momentarily out of a resource
+    /// (worker slots, memory budget) and the operation was shed.
+    Busy(String),
+    /// Transient: execution was interrupted mid-flight (cancellation,
+    /// an injected chaos fault, a lost backend connection).
+    Interrupted(String),
+    /// Transient: the operation exceeded a backend-side deadline.
+    Timeout(String),
+}
+
+impl DbError {
+    /// Whether retrying the failed operation can possibly succeed.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DbError::Busy(_) | DbError::Interrupted(_) | DbError::Timeout(_) => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// Shorthand for `self.class() == ErrorClass::Transient`.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for DbError {
@@ -38,6 +80,9 @@ impl fmt::Display for DbError {
             }
             DbError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             DbError::Duplicate(name) => write!(f, "duplicate object: {name}"),
+            DbError::Busy(m) => write!(f, "busy (transient): {m}"),
+            DbError::Interrupted(m) => write!(f, "interrupted (transient): {m}"),
+            DbError::Timeout(m) => write!(f, "timeout (transient): {m}"),
         }
     }
 }
@@ -46,3 +91,44 @@ impl std::error::Error for DbError {}
 
 /// Convenience alias used across the crate.
 pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_variants_classify_as_transient() {
+        for e in [
+            DbError::Busy("shed".into()),
+            DbError::Interrupted("fault".into()),
+            DbError::Timeout("deadline".into()),
+        ] {
+            assert_eq!(e.class(), ErrorClass::Transient);
+            assert!(e.is_transient());
+            assert!(e.to_string().contains("transient"));
+        }
+    }
+
+    #[test]
+    fn structural_errors_classify_as_fatal() {
+        for e in [
+            DbError::UnknownTable("t".into()),
+            DbError::UnknownColumn("c".into()),
+            DbError::AmbiguousColumn("c".into()),
+            DbError::TypeMismatch {
+                expected: "INT".into(),
+                found: "TEXT".into(),
+            },
+            DbError::ShapeMismatch("w".into()),
+            DbError::Parse {
+                message: "m".into(),
+                position: 0,
+            },
+            DbError::InvalidQuery("q".into()),
+            DbError::Duplicate("d".into()),
+        ] {
+            assert_eq!(e.class(), ErrorClass::Fatal);
+            assert!(!e.is_transient());
+        }
+    }
+}

@@ -37,7 +37,7 @@ pub mod zonemap;
 
 pub use catalog::Database;
 pub use column::{Column, ColumnData};
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, ErrorClass};
 pub use exec::{
     execute_nested_loop, execute_with_options, ExecMode, ExecOptions, Lineage, QueryOutput,
     ResultSet,

@@ -1,0 +1,121 @@
+//! What the server serves: a routing backend over subset + full database.
+//!
+//! [`SessionBackend`] is the seam between the serving layer and the
+//! ASQP session logic. The real implementation is
+//! [`asqp_core::Session`] (estimator-routed, drift-tracked); the
+//! [`MirrorBackend`] is a model-free stand-in — hash-routed over two
+//! plain databases — so chaos tests and throughput benches can hammer
+//! the concurrency machinery without paying for RL training.
+
+use crate::fault::fnv1a;
+use asqp_core::{RoutePlan, Session};
+use asqp_db::{Database, DbResult, Query, ResultSet};
+use std::sync::Arc;
+
+/// The backend's routing verdict, opaque to the server beyond
+/// `answerable` (it carries the session's interior plan through to
+/// [`SessionBackend::finish`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RouteDecision {
+    /// `true` → answer from the approximation set; `false` → full DB.
+    pub answerable: bool,
+    plan: Option<RoutePlan>,
+}
+
+impl RouteDecision {
+    /// A bare decision with no session plan attached (for stand-in
+    /// backends).
+    pub fn bare(answerable: bool) -> RouteDecision {
+        RouteDecision {
+            answerable,
+            plan: None,
+        }
+    }
+}
+
+/// A thread-safe query-answering backend the server fans out over.
+pub trait SessionBackend: Send + Sync + 'static {
+    /// Decide the route for `q` without executing anything.
+    fn plan(&self, q: &Query) -> RouteDecision;
+    /// Answer from the approximation set (local, fault-free domain).
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet>;
+    /// Answer from the full database (the faultable domain).
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet>;
+    /// Record the outcome of a routed query (statistics, drift tracking).
+    fn finish(&self, q: &Query, decision: &RouteDecision) -> DbResult<()> {
+        let _ = (q, decision);
+        Ok(())
+    }
+}
+
+impl SessionBackend for Session {
+    fn plan(&self, q: &Query) -> RouteDecision {
+        let plan = Session::plan(self, q);
+        RouteDecision {
+            answerable: plan.answerable,
+            plan: Some(plan),
+        }
+    }
+
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        Session::answer_subset(self, q)
+    }
+
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        Session::answer_full(self, q)
+    }
+
+    fn finish(&self, q: &Query, decision: &RouteDecision) -> DbResult<()> {
+        if let Some(plan) = &decision.plan {
+            Session::finish(self, q, plan)?;
+        }
+        Ok(())
+    }
+}
+
+/// Model-free backend: routes by a stable hash of the query text so a
+/// fixed fraction of queries takes the subset path, answers both routes
+/// from plain databases. Routing is pure — the same query always takes
+/// the same route — which keeps chaos runs reproducible.
+pub struct MirrorBackend {
+    subset: Arc<Database>,
+    full: Arc<Database>,
+    /// Percentage (0–100) of queries routed to the subset.
+    subset_pct: u8,
+}
+
+impl MirrorBackend {
+    pub fn new(subset: Arc<Database>, full: Arc<Database>, subset_pct: u8) -> MirrorBackend {
+        MirrorBackend {
+            subset,
+            full,
+            subset_pct: subset_pct.min(100),
+        }
+    }
+
+    /// Both routes served by the same database — the cheapest possible
+    /// backend for stress tests.
+    pub fn single(db: Arc<Database>, subset_pct: u8) -> MirrorBackend {
+        MirrorBackend::new(db.clone(), db, subset_pct)
+    }
+
+    /// The pure routing rule, exposed so the discrete-event simulator can
+    /// reuse it.
+    pub fn routes_to_subset(sql: &str, subset_pct: u8) -> bool {
+        (fnv1a(sql.as_bytes()) % 100) < subset_pct as u64
+    }
+}
+
+impl SessionBackend for MirrorBackend {
+    fn plan(&self, q: &Query) -> RouteDecision {
+        RouteDecision::bare(Self::routes_to_subset(&q.to_sql(), self.subset_pct))
+    }
+
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        self.subset.execute(q)
+    }
+
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        self.full.execute(q)
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic chaos run: replay the reference fault scenario for a
+//! seed and print the canonical event transcript.
+//!
+//! Two invocations with the same seed print byte-identical output — the
+//! CI `chaos` job runs this twice and diffs the transcripts. Usage:
+//!
+//! ```text
+//! chaos_run [--seed N] [--requests N] [--workers N] [--queue-depth N]
+//! ```
+
+use asqp_serve::{run_sim, SimConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: chaos_run [--seed N] [--requests N] [--workers N] [--queue-depth N]");
+        return;
+    }
+    let seed = parse_flag(&args, "--seed").unwrap_or(0xA5_2024);
+    let mut cfg = SimConfig::chaos(seed);
+    if let Some(n) = parse_flag(&args, "--requests") {
+        cfg.requests = n;
+    }
+    if let Some(n) = parse_flag(&args, "--workers") {
+        cfg.workers = n.max(1) as usize;
+    }
+    if let Some(n) = parse_flag(&args, "--queue-depth") {
+        cfg.queue_depth = n.max(1) as usize;
+    }
+
+    let report = run_sim(&cfg);
+    print!("{}", report.render());
+}

@@ -1,0 +1,165 @@
+//! Structured chaos-run event log with a canonical rendering.
+//!
+//! Workers append events concurrently, so the *insertion order* of the log
+//! varies run to run even under an identical fault plan. What is
+//! deterministic is the per-request event sequence: every event carries
+//! `(request, seq)` where `seq` is the request's own step counter.
+//! [`EventLog::render`] sorts by that key, producing a byte-for-byte
+//! stable transcript for same-seed runs that the chaos suite (and the CI
+//! `chaos` job) can diff directly.
+
+use crate::error::ServedSource;
+use std::fmt;
+use std::sync::Mutex;
+
+/// One step in a request's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Admitted into the queue.
+    Admitted,
+    /// Rejected by admission control at the given queue depth.
+    Rejected { depth: usize },
+    /// Routed: does the planner consider the query answerable from the
+    /// approximation set?
+    Routed { answerable: bool },
+    /// A full-DB attempt began, with the fault-plan latency it will pay.
+    Attempt { attempt: u32, latency_ns: u64 },
+    /// A full-DB attempt failed with an injected (or real) transient error.
+    TransientError { attempt: u32 },
+    /// Backoff scheduled before the next attempt.
+    Backoff { attempt: u32, sleep_ns: u64 },
+    /// The per-request deadline expired; the ladder degrades to subset.
+    DeadlineExceeded,
+    /// The retry budget ran out; the ladder degrades to subset.
+    RetriesExhausted,
+    /// The request resolved with an answer.
+    Resolved { source: ServedSource, rows: usize },
+    /// The request resolved with a fatal error.
+    Failed,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Admitted => write!(f, "admitted"),
+            EventKind::Rejected { depth } => write!(f, "rejected depth={depth}"),
+            EventKind::Routed { answerable } => write!(f, "routed answerable={answerable}"),
+            EventKind::Attempt {
+                attempt,
+                latency_ns,
+            } => {
+                write!(f, "attempt n={attempt} latency_ns={latency_ns}")
+            }
+            EventKind::TransientError { attempt } => write!(f, "transient_error n={attempt}"),
+            EventKind::Backoff { attempt, sleep_ns } => {
+                write!(f, "backoff n={attempt} sleep_ns={sleep_ns}")
+            }
+            EventKind::DeadlineExceeded => write!(f, "deadline_exceeded"),
+            EventKind::RetriesExhausted => write!(f, "retries_exhausted"),
+            EventKind::Resolved { source, rows } => {
+                write!(f, "resolved source={source} rows={rows}")
+            }
+            EventKind::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// One logged event: `(request, seq)` is the canonical sort key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub request: u64,
+    /// Per-request step counter (0, 1, 2, … within one request).
+    pub seq: u32,
+    pub kind: EventKind,
+}
+
+/// Append-only, thread-safe event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    pub fn push(&self, request: u64, seq: u32, kind: EventKind) {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .push(Event { request, seq, kind });
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in canonical `(request, seq)` order.
+    pub fn canonical(&self) -> Vec<Event> {
+        let mut evs = self.events.lock().expect("event log poisoned").clone();
+        evs.sort_by_key(|e| (e.request, e.seq));
+        evs
+    }
+
+    /// Canonical text transcript: one `req=<id> seq=<n> <kind>` line per
+    /// event, sorted by `(request, seq)`. Byte-for-byte comparable across
+    /// runs of the same deterministic schedule.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.canonical() {
+            out.push_str(&format!("req={} seq={} {}\n", e.request, e.seq, e.kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_insertion_order_independent() {
+        let a = EventLog::new();
+        a.push(1, 0, EventKind::Admitted);
+        a.push(1, 1, EventKind::Routed { answerable: true });
+        a.push(2, 0, EventKind::Admitted);
+
+        let b = EventLog::new();
+        b.push(2, 0, EventKind::Admitted);
+        b.push(1, 1, EventKind::Routed { answerable: true });
+        b.push(1, 0, EventKind::Admitted);
+
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn render_format_is_stable() {
+        let log = EventLog::new();
+        log.push(
+            7,
+            0,
+            EventKind::Attempt {
+                attempt: 0,
+                latency_ns: 20,
+            },
+        );
+        log.push(
+            7,
+            1,
+            EventKind::Resolved {
+                source: ServedSource::DegradedSubset,
+                rows: 4,
+            },
+        );
+        assert_eq!(
+            log.render(),
+            "req=7 seq=0 attempt n=0 latency_ns=20\nreq=7 seq=1 resolved source=degraded rows=4\n"
+        );
+    }
+}

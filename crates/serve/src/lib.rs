@@ -1,0 +1,41 @@
+//! `asqp-serve`: the concurrent session front-end for ASQP-RL.
+//!
+//! The paper's exploration session is single-user; this crate turns it
+//! into a serving tier suitable for many concurrent analysts sharing one
+//! approximation set:
+//!
+//! - [`Server`] — bounded worker pool over a shared
+//!   [`SessionBackend`], with admission control
+//!   ([`ServeError::Overloaded`] backpressure past a configurable queue
+//!   depth), per-request deadlines, retry-with-jittered-backoff for
+//!   transient full-DB errors, and timeout-then-degrade semantics: a
+//!   request the full database cannot answer in time is answered from
+//!   the approximation set and tagged [`ServedSource::DegradedSubset`].
+//! - [`FaultPlan`] — seeded, hash-based fault injection (transient
+//!   errors, latency spikes, a stalled worker) whose every decision is a
+//!   pure function of `(seed, request, attempt)`.
+//! - [`run_sim`] — a discrete-event simulator replaying the same
+//!   serving semantics on a virtual clock, so chaos runs are
+//!   byte-for-byte reproducible and diffable across runs and machines.
+//!
+//! Telemetry: the server emits `serve.*` counters (admitted, rejected,
+//! degraded, retries, resolved.{subset,full}, fatal) and a
+//! `serve.queue.depth` gauge through `asqp-telemetry`.
+
+pub mod backend;
+pub mod backoff;
+pub mod error;
+pub mod event;
+pub mod fault;
+pub mod queue;
+pub mod server;
+pub mod sim;
+
+pub use backend::{MirrorBackend, RouteDecision, SessionBackend};
+pub use backoff::RetryPolicy;
+pub use error::{Answer, ServeError, ServeResult, ServedSource};
+pub use event::{Event, EventKind, EventLog};
+pub use fault::{FaultDecision, FaultPlan};
+pub use queue::AdmissionQueue;
+pub use server::{ServeConfig, Server, ServerStats, Ticket};
+pub use sim::{run_sim, SimConfig, SimReport};

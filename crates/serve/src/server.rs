@@ -1,0 +1,450 @@
+//! The bounded-worker concurrent session server.
+//!
+//! A fixed pool of worker threads drains a bounded [`AdmissionQueue`];
+//! [`Server::submit`] is the front door, rejecting synchronously with
+//! [`ServeError::Overloaded`] once the queue is at depth. Each admitted
+//! request walks the degradation ladder:
+//!
+//! 1. **Route** — the backend decides subset vs. full DB.
+//! 2. **Subset route**: answered locally, never faulted.
+//! 3. **Full route**: up to `retry.max_attempts()` attempts, each paying
+//!    the fault plan's injected latency and possibly an injected
+//!    transient error; transient failures back off with deterministic
+//!    full jitter.
+//! 4. **Degrade**: when the per-request deadline expires or retries are
+//!    exhausted, the request falls back to the approximation set and the
+//!    answer is tagged [`ServedSource::DegradedSubset`] — the ASQP bet
+//!    that a subset answer now beats a full answer too late (or never).
+//!
+//! Because the subset path cannot fault, every admitted request resolves:
+//! `Ok(full) | Ok(subset) | Ok(degraded) | Err(Fatal)` — and `Fatal` only
+//! for queries the database itself rejects. Graceful shutdown closes the
+//! queue, drains what was admitted, and joins the pool.
+
+use crate::backend::SessionBackend;
+use crate::backoff::RetryPolicy;
+use crate::error::{Answer, ServeError, ServeResult, ServedSource};
+use crate::event::{EventKind, EventLog};
+use crate::fault::FaultPlan;
+use crate::queue::AdmissionQueue;
+use asqp_db::{DbError, Query};
+use asqp_telemetry as telemetry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission-queue depth; submissions beyond it are `Overloaded`.
+    pub queue_depth: usize,
+    /// Per-request deadline measured from admission; `0` = no deadline.
+    /// When the full-DB route cannot finish inside it, the request
+    /// degrades to the subset answer.
+    pub deadline_ns: u64,
+    /// Retry policy for transient full-DB failures.
+    pub retry: RetryPolicy,
+    /// Fault-injection plan (disabled in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            deadline_ns: 5_000_000, // 5ms
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::disabled(),
+        }
+    }
+}
+
+/// Atomic server counters; mirrors what the telemetry recorder sees, but
+/// always available for request accounting in tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub resolved_subset: u64,
+    pub resolved_full: u64,
+    pub degraded: u64,
+    pub retries: u64,
+    pub fatal: u64,
+}
+
+impl ServerStats {
+    /// Every admitted request must end up in exactly one resolution bucket.
+    pub fn resolved(&self) -> u64 {
+        self.resolved_subset + self.resolved_full + self.degraded + self.fatal
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    resolved_subset: AtomicU64,
+    resolved_full: AtomicU64,
+    degraded: AtomicU64,
+    retries: AtomicU64,
+    fatal: AtomicU64,
+}
+
+struct Job {
+    request: u64,
+    query: Query,
+    seq: u32,
+    admitted_at: Instant,
+    reply: SyncSender<ServeResult>,
+}
+
+/// A pending request: wait on it for the resolution.
+pub struct Ticket {
+    pub request: u64,
+    rx: Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// Block until the request resolves.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+struct Shared<B> {
+    backend: B,
+    config: ServeConfig,
+    queue: AdmissionQueue<Job>,
+    log: EventLog,
+    counters: Counters,
+    draining: AtomicBool,
+}
+
+/// The concurrent session front-end. `Server` is cheap to share: submit
+/// from as many client threads as you like.
+pub struct Server<B: SessionBackend> {
+    shared: Arc<Shared<B>>,
+    next_request: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<B: SessionBackend> Server<B> {
+    /// Spawn the worker pool and start serving.
+    pub fn start(backend: B, config: ServeConfig) -> Server<B> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_depth),
+            backend,
+            config,
+            log: EventLog::new(),
+            counters: Counters::default(),
+            draining: AtomicBool::new(false),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asqp-serve-{idx}"))
+                    .spawn(move || worker_loop(idx, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            next_request: AtomicU64::new(0),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a query. Returns a [`Ticket`] on admission, or fails
+    /// synchronously with `Overloaded` (queue at depth) / `ShuttingDown`.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = sync_channel(1);
+        let job = Job {
+            request,
+            query,
+            seq: 1, // seq 0 is the admission event below
+            admitted_at: Instant::now(),
+            reply,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.log.push(request, 0, EventKind::Admitted);
+                self.shared
+                    .counters
+                    .admitted
+                    .fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.admitted", 1);
+                telemetry::gauge("serve.queue.depth", self.shared.queue.len() as f64);
+                Ok(Ticket { request, rx })
+            }
+            Err(e) => {
+                if let ServeError::Overloaded { depth } = e {
+                    self.shared
+                        .log
+                        .push(request, 0, EventKind::Rejected { depth });
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.rejected", 1);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit and wait: the simple synchronous client path.
+    pub fn query_blocking(&self, query: Query) -> ServeResult {
+        self.submit(query)?.wait()
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            resolved_subset: c.resolved_subset.load(Ordering::Relaxed),
+            resolved_full: c.resolved_full.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            fatal: c.fatal.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The chaos-run event log (canonical rendering via
+    /// [`EventLog::render`]).
+    pub fn log(&self) -> &EventLog {
+        &self.shared.log
+    }
+
+    /// The backend, for post-run inspection (e.g. session stats).
+    pub fn backend(&self) -> &B {
+        &self.shared.backend
+    }
+
+    /// Graceful shutdown: stop admitting, drain every admitted request,
+    /// join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue.close();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<B: SessionBackend> Drop for Server<B> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<B: SessionBackend>(idx: usize, shared: Arc<Shared<B>>) {
+    if let Some(stall_ns) = shared.config.faults.worker_stall(idx) {
+        telemetry::counter("serve.worker.stalled", 1);
+        std::thread::sleep(Duration::from_nanos(stall_ns));
+    }
+    while let Some(job) = shared.queue.pop() {
+        let result = process(&shared, job);
+        // A dropped receiver means the client gave up waiting; the
+        // request still counted as resolved above.
+        let _ = result;
+    }
+}
+
+/// Remaining budget until the request's deadline; `u64::MAX` when the
+/// server runs without deadlines.
+fn remaining_ns(admitted_at: Instant, deadline_ns: u64) -> u64 {
+    if deadline_ns == 0 {
+        return u64::MAX;
+    }
+    deadline_ns.saturating_sub(admitted_at.elapsed().as_nanos() as u64)
+}
+
+fn sleep_ns(ns: u64) {
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
+    }
+}
+
+fn process<B: SessionBackend>(shared: &Shared<B>, job: Job) -> ServeResult {
+    let Job {
+        request,
+        query,
+        mut seq,
+        admitted_at,
+        reply,
+    } = job;
+    let cfg = &shared.config;
+    let log = &shared.log;
+    let push = |s: &mut u32, kind: EventKind| {
+        log.push(request, *s, kind);
+        *s += 1;
+    };
+
+    let decision = shared.backend.plan(&query);
+    push(
+        &mut seq,
+        EventKind::Routed {
+            answerable: decision.answerable,
+        },
+    );
+
+    let resolve = |seq: &mut u32, result: ServeResult| -> ServeResult {
+        match &result {
+            Ok(a) => {
+                let (counter, name) = match a.source {
+                    ServedSource::Subset => {
+                        (&shared.counters.resolved_subset, "serve.resolved.subset")
+                    }
+                    ServedSource::Full => (&shared.counters.resolved_full, "serve.resolved.full"),
+                    ServedSource::DegradedSubset => (&shared.counters.degraded, "serve.degraded"),
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter(name, 1);
+                log.push(
+                    request,
+                    *seq,
+                    EventKind::Resolved {
+                        source: a.source,
+                        rows: a.rows.rows.len(),
+                    },
+                );
+                let _ = shared.backend.finish(&query, &decision);
+            }
+            Err(_) => {
+                shared.counters.fatal.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.fatal", 1);
+                log.push(request, *seq, EventKind::Failed);
+            }
+        }
+        *seq += 1;
+        let _ = reply.send(result.clone());
+        result
+    };
+
+    // Subset route: local, outside the fault domain.
+    if decision.answerable {
+        return match shared.backend.answer_subset(&query) {
+            Ok(rows) => resolve(
+                &mut seq,
+                Ok(Answer {
+                    request,
+                    rows,
+                    source: ServedSource::Subset,
+                    attempts: 0,
+                }),
+            ),
+            Err(e) => resolve(&mut seq, Err(ServeError::Fatal(e))),
+        };
+    }
+
+    // Full route: the attempt ladder.
+    let mut attempts = 0u32;
+    let degrade_reason = loop {
+        if attempts >= cfg.retry.max_attempts() {
+            break Some(EventKind::RetriesExhausted);
+        }
+        let remaining = remaining_ns(admitted_at, cfg.deadline_ns);
+        if remaining == 0 {
+            break Some(EventKind::DeadlineExceeded);
+        }
+        let fault = cfg.faults.decide(request, attempts);
+        push(
+            &mut seq,
+            EventKind::Attempt {
+                attempt: attempts,
+                latency_ns: fault.latency_ns,
+            },
+        );
+        if fault.latency_ns >= remaining {
+            // The injected latency alone blows the deadline: pay what is
+            // left of the budget, then degrade.
+            sleep_ns(remaining);
+            attempts += 1;
+            break Some(EventKind::DeadlineExceeded);
+        }
+        sleep_ns(fault.latency_ns);
+
+        let outcome = if fault.inject_error {
+            Err(DbError::Busy("injected fault".into()))
+        } else {
+            shared.backend.answer_full(&query)
+        };
+        attempts += 1;
+        match outcome {
+            Ok(rows) => {
+                return resolve(
+                    &mut seq,
+                    Ok(Answer {
+                        request,
+                        rows,
+                        source: ServedSource::Full,
+                        attempts,
+                    }),
+                );
+            }
+            Err(e) if e.is_transient() => {
+                push(
+                    &mut seq,
+                    EventKind::TransientError {
+                        attempt: attempts - 1,
+                    },
+                );
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.retries", 1);
+                if attempts >= cfg.retry.max_attempts() {
+                    break Some(EventKind::RetriesExhausted);
+                }
+                let sleep = cfg.retry.backoff_ns(cfg.faults.seed, request, attempts - 1);
+                let capped = sleep.min(remaining_ns(admitted_at, cfg.deadline_ns));
+                push(
+                    &mut seq,
+                    EventKind::Backoff {
+                        attempt: attempts - 1,
+                        sleep_ns: sleep,
+                    },
+                );
+                sleep_ns(capped);
+            }
+            Err(e) => {
+                return resolve(&mut seq, Err(ServeError::Fatal(e)));
+            }
+        }
+    };
+
+    // Degradation: deadline or retry budget exhausted — answer from the
+    // approximation set, tagged.
+    if let Some(reason) = degrade_reason {
+        push(&mut seq, reason);
+    }
+    match shared.backend.answer_subset(&query) {
+        Ok(rows) => resolve(
+            &mut seq,
+            Ok(Answer {
+                request,
+                rows,
+                source: ServedSource::DegradedSubset,
+                attempts,
+            }),
+        ),
+        Err(e) => resolve(&mut seq, Err(ServeError::Fatal(e))),
+    }
+}

@@ -1,0 +1,380 @@
+//! Deterministic discrete-event chaos simulator.
+//!
+//! The threaded [`Server`](crate::Server) proves the concurrency story
+//! (no panics, no lost requests) but its event interleaving — and hence
+//! which submissions hit a full queue — depends on OS scheduling. This
+//! module replays the *same* serving semantics (admission control,
+//! routing, the attempt ladder with the same [`FaultPlan`] and
+//! [`RetryPolicy`] decision hashes, degradation) on a virtual clock with
+//! a strictly ordered event heap, so a chaos run is a pure function of
+//! its configuration: same seed ⇒ byte-for-byte identical
+//! [`EventLog::render`] output. That is the artifact the chaos suite and
+//! the CI `chaos` job diff across runs.
+
+use crate::backoff::RetryPolicy;
+use crate::error::ServedSource;
+use crate::event::{EventKind, EventLog};
+use crate::fault::{splitmix64, FaultPlan};
+use crate::server::ServerStats;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Configuration of one simulated chaos run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total client requests injected.
+    pub requests: u64,
+    pub workers: usize,
+    pub queue_depth: usize,
+    /// Per-request deadline from admission; `0` = none.
+    pub deadline_ns: u64,
+    pub retry: RetryPolicy,
+    pub faults: FaultPlan,
+    /// Percentage (0–100) of requests hash-routed to the subset.
+    pub subset_pct: u8,
+    /// Virtual gap between consecutive arrivals.
+    pub inter_arrival_ns: u64,
+    /// Virtual cost of a subset answer.
+    pub subset_service_ns: u64,
+    /// Virtual cost of a successful full-DB execution (after injected
+    /// latency).
+    pub full_service_ns: u64,
+}
+
+impl SimConfig {
+    /// The reference chaos scenario: 64 clients against a 4-worker pool
+    /// under [`FaultPlan::chaos`] — arrivals fast enough to exercise
+    /// queueing and (for small depths) admission rejections.
+    pub fn chaos(seed: u64) -> SimConfig {
+        SimConfig {
+            requests: 64,
+            workers: 4,
+            queue_depth: 16,
+            // 300µs: a base attempt (20µs latency + 60µs service) fits
+            // comfortably, but a 400µs spike or an error+backoff cycle
+            // blows it — so chaos runs exercise the degrade path.
+            deadline_ns: 300_000,
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_ns: 50_000,
+                cap_ns: 400_000,
+            },
+            faults: FaultPlan::chaos(seed),
+            subset_pct: 50,
+            inter_arrival_ns: 30_000,
+            subset_service_ns: 15_000,
+            full_service_ns: 60_000,
+        }
+    }
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug)]
+pub struct SimReport {
+    pub stats: ServerStats,
+    pub log: EventLog,
+    /// Virtual time at which the last request resolved.
+    pub makespan_ns: u64,
+}
+
+impl SimReport {
+    /// Canonical transcript (see [`EventLog::render`]) plus a summary
+    /// footer — the unit the chaos suite diffs byte-for-byte.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{}summary admitted={} rejected={} subset={} full={} degraded={} retries={} makespan_ns={}\n",
+            self.log.render(),
+            s.admitted,
+            s.rejected,
+            s.resolved_subset,
+            s.resolved_full,
+            s.degraded,
+            s.retries,
+            self.makespan_ns
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SimEvent {
+    Arrival { request: u64 },
+    WorkerFree { worker: usize },
+}
+
+struct PendingJob {
+    request: u64,
+    admitted_ns: u64,
+    seq: u32,
+}
+
+/// Run one simulated chaos scenario. Pure: identical configs produce
+/// identical reports.
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    let log = EventLog::new();
+    let mut stats = ServerStats::default();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, SimEvent)>> = BinaryHeap::new();
+    let mut tie = 0u64;
+    let mut push_event =
+        |heap: &mut BinaryHeap<Reverse<(u64, u64, SimEvent)>>, t: u64, e: SimEvent| {
+            heap.push(Reverse((t, tie, e)));
+            tie += 1;
+        };
+
+    for r in 0..cfg.requests {
+        push_event(
+            &mut heap,
+            r * cfg.inter_arrival_ns,
+            SimEvent::Arrival { request: r },
+        );
+    }
+    // Workers come online at t=0, except the fault plan's stalled worker.
+    let mut idle: BTreeSet<usize> = BTreeSet::new();
+    for w in 0..cfg.workers {
+        match cfg.faults.worker_stall(w) {
+            Some(stall) => push_event(&mut heap, stall, SimEvent::WorkerFree { worker: w }),
+            None => {
+                idle.insert(w);
+            }
+        }
+    }
+
+    let mut queue: VecDeque<PendingJob> = VecDeque::new();
+    let mut makespan = 0u64;
+
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        match ev {
+            SimEvent::Arrival { request } => {
+                if queue.len() >= cfg.queue_depth {
+                    log.push(
+                        request,
+                        0,
+                        EventKind::Rejected {
+                            depth: cfg.queue_depth,
+                        },
+                    );
+                    stats.rejected += 1;
+                    continue;
+                }
+                log.push(request, 0, EventKind::Admitted);
+                stats.admitted += 1;
+                queue.push_back(PendingJob {
+                    request,
+                    admitted_ns: now,
+                    seq: 1,
+                });
+                if let Some(&w) = idle.iter().next() {
+                    idle.remove(&w);
+                    let job = queue.pop_front().expect("just pushed");
+                    let done = serve_one(cfg, &log, &mut stats, job, now);
+                    makespan = makespan.max(done);
+                    push_event(&mut heap, done, SimEvent::WorkerFree { worker: w });
+                }
+            }
+            SimEvent::WorkerFree { worker } => match queue.pop_front() {
+                Some(job) => {
+                    let done = serve_one(cfg, &log, &mut stats, job, now);
+                    makespan = makespan.max(done);
+                    push_event(&mut heap, done, SimEvent::WorkerFree { worker });
+                }
+                None => {
+                    idle.insert(worker);
+                }
+            },
+        }
+    }
+
+    SimReport {
+        stats,
+        log,
+        makespan_ns: makespan,
+    }
+}
+
+/// Pure routing rule for simulated requests (mirrors `MirrorBackend`'s
+/// hash routing, keyed by request id instead of query text).
+fn routes_to_subset(seed: u64, request: u64, subset_pct: u8) -> bool {
+    splitmix64(seed ^ splitmix64(request ^ 0x5e1f)) % 100 < subset_pct as u64
+}
+
+/// Deterministic pseudo row count for a resolved answer.
+fn sim_rows(seed: u64, request: u64) -> usize {
+    (splitmix64(seed ^ request.wrapping_mul(0x2545_f491_4f6c_dd1d)) % 50) as usize
+}
+
+/// Walk one request through the same degradation ladder as
+/// `server::process`, on virtual time. Returns the completion time.
+fn serve_one(
+    cfg: &SimConfig,
+    log: &EventLog,
+    stats: &mut ServerStats,
+    job: PendingJob,
+    start_ns: u64,
+) -> u64 {
+    let PendingJob {
+        request,
+        admitted_ns,
+        mut seq,
+    } = job;
+    let mut now = start_ns;
+    let push = |seq: &mut u32, kind: EventKind| {
+        log.push(request, *seq, kind);
+        *seq += 1;
+    };
+    let deadline = if cfg.deadline_ns == 0 {
+        u64::MAX
+    } else {
+        admitted_ns.saturating_add(cfg.deadline_ns)
+    };
+    let remaining = |now: u64| deadline.saturating_sub(now);
+
+    let answerable = routes_to_subset(cfg.faults.seed, request, cfg.subset_pct);
+    push(&mut seq, EventKind::Routed { answerable });
+
+    if answerable {
+        now += cfg.subset_service_ns;
+        push(
+            &mut seq,
+            EventKind::Resolved {
+                source: ServedSource::Subset,
+                rows: sim_rows(cfg.faults.seed, request),
+            },
+        );
+        stats.resolved_subset += 1;
+        return now;
+    }
+
+    let mut attempts = 0u32;
+    let degrade_reason = loop {
+        if attempts >= cfg.retry.max_attempts() {
+            break EventKind::RetriesExhausted;
+        }
+        let rem = remaining(now);
+        if rem == 0 {
+            break EventKind::DeadlineExceeded;
+        }
+        let fault = cfg.faults.decide(request, attempts);
+        push(
+            &mut seq,
+            EventKind::Attempt {
+                attempt: attempts,
+                latency_ns: fault.latency_ns,
+            },
+        );
+        if fault.latency_ns >= rem {
+            now += rem;
+            break EventKind::DeadlineExceeded;
+        }
+        now += fault.latency_ns;
+        attempts += 1;
+        if fault.inject_error {
+            push(
+                &mut seq,
+                EventKind::TransientError {
+                    attempt: attempts - 1,
+                },
+            );
+            stats.retries += 1;
+            if attempts >= cfg.retry.max_attempts() {
+                break EventKind::RetriesExhausted;
+            }
+            let sleep = cfg.retry.backoff_ns(cfg.faults.seed, request, attempts - 1);
+            push(
+                &mut seq,
+                EventKind::Backoff {
+                    attempt: attempts - 1,
+                    sleep_ns: sleep,
+                },
+            );
+            now += sleep.min(remaining(now));
+        } else {
+            now += cfg.full_service_ns;
+            push(
+                &mut seq,
+                EventKind::Resolved {
+                    source: ServedSource::Full,
+                    rows: sim_rows(cfg.faults.seed, request),
+                },
+            );
+            stats.resolved_full += 1;
+            return now;
+        }
+    };
+
+    push(&mut seq, degrade_reason);
+    now += cfg.subset_service_ns;
+    push(
+        &mut seq,
+        EventKind::Resolved {
+            source: ServedSource::DegradedSubset,
+            rows: sim_rows(cfg.faults.seed, request),
+        },
+    );
+    stats.degraded += 1;
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_renders_identically() {
+        let cfg = SimConfig::chaos(1234);
+        let a = run_sim(&cfg);
+        let b = run_sim(&cfg);
+        assert_eq!(a.render(), b.render());
+        assert!(!a.log.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_render_differently() {
+        let a = run_sim(&SimConfig::chaos(1));
+        let b = run_sim(&SimConfig::chaos(2));
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn every_admitted_request_resolves() {
+        for seed in [0u64, 7, 99, 12345] {
+            let r = run_sim(&SimConfig::chaos(seed));
+            let s = &r.stats;
+            assert_eq!(s.admitted + s.rejected, 64, "seed {seed}");
+            assert_eq!(
+                s.resolved_subset + s.resolved_full + s.degraded,
+                s.admitted,
+                "seed {seed}: all admitted requests must resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_actually_degrades_and_retries_somewhere() {
+        // Across a handful of seeds the chaos profile must exercise the
+        // interesting paths — otherwise the suite tests nothing.
+        let mut degraded = 0;
+        let mut retries = 0;
+        for seed in 0..8u64 {
+            let r = run_sim(&SimConfig::chaos(seed));
+            degraded += r.stats.degraded;
+            retries += r.stats.retries;
+        }
+        assert!(degraded > 0, "no degradations across seeds");
+        assert!(retries > 0, "no retries across seeds");
+    }
+
+    #[test]
+    fn tiny_queue_rejects_under_burst() {
+        let cfg = SimConfig {
+            queue_depth: 2,
+            workers: 1,
+            inter_arrival_ns: 1, // burst arrival
+            ..SimConfig::chaos(5)
+        };
+        let r = run_sim(&cfg);
+        assert!(
+            r.stats.rejected > 0,
+            "burst against depth-2 queue must shed load"
+        );
+    }
+}

@@ -9,7 +9,7 @@
 use asqp::prelude::*;
 
 fn main() {
-    let db = asqp::data::imdb::generate(Scale::Small, 3);
+    let db = std::sync::Arc::new(asqp::data::imdb::generate(Scale::Small, 3));
 
     // The user's past workload is movie-centric: years, ratings, kinds.
     let history = asqp::data::imdb::workload(30, 3);
@@ -23,11 +23,11 @@ fn main() {
         drift_confidence: 0.55,
         ..SessionConfig::default()
     };
-    let mut session =
-        Session::new(&db, model, session_cfg).expect("session materialises the approximation set");
+    let session = Session::new(db.clone(), model, session_cfg)
+        .expect("session materialises the approximation set");
     println!(
         "session ready: approximation set holds {} tuples\n",
-        session.subset.total_rows()
+        session.state().subset.total_rows()
     );
 
     // Phase 1 — queries close to the training workload: mostly answered
@@ -35,7 +35,7 @@ fn main() {
     println!("--- phase 1: familiar movie queries ---");
     let familiar = asqp::data::imdb::workload(36, 3);
     for q in familiar.queries.iter().skip(30) {
-        route_and_report(&mut session, q);
+        route_and_report(&session, q);
     }
 
     // Phase 2 — the user drifts to person-centric exploration the model
@@ -51,11 +51,11 @@ fn main() {
     ];
     for text in drift {
         let q = asqp::db::sql::parse(text).expect("valid SQL");
-        route_and_report(&mut session, &q);
+        route_and_report(&session, &q);
     }
 
-    println!("\nsession stats: {:?}", session.stats);
-    if session.stats.fine_tunes > 0 {
+    println!("\nsession stats: {:?}", session.stats());
+    if session.stats().fine_tunes > 0 {
         println!("the model fine-tuned itself after detecting interest drift");
         // Phase 3: person queries now hit the refreshed approximation set.
         println!("\n--- phase 3: drifted queries after fine-tuning ---");
@@ -63,11 +63,11 @@ fn main() {
             "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'd%'",
         )
         .expect("valid SQL");
-        route_and_report(&mut session, &q);
+        route_and_report(&session, &q);
     }
 }
 
-fn route_and_report(session: &mut Session, q: &Query) {
+fn route_and_report(session: &Session, q: &Query) {
     let preview: String = q.to_sql().chars().take(72).collect();
     let (result, source) = session.query(q).expect("query executes");
     let tag = match source {

@@ -10,6 +10,8 @@
 //! * [`core`] — the ASQP-RL system itself (metric, preprocessing, GSL/DRP
 //!   environments, training, inference, estimator, drift, aggregates)
 //! * [`baselines`] — every comparator from the paper's evaluation
+//! * [`serve`] — concurrent session server (admission control, deadlines
+//!   with degrade-to-subset, seeded fault injection, chaos simulator)
 //!
 //! ```
 //! use asqp::prelude::*;
@@ -31,6 +33,7 @@ pub use asqp_db as db;
 pub use asqp_embed as embed;
 pub use asqp_nn as nn;
 pub use asqp_rl as rl;
+pub use asqp_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -88,7 +88,7 @@ fn estimator_separates_answerable_from_not() {
 
 #[test]
 fn session_end_to_end_with_fine_tune() {
-    let db = asqp::data::imdb::generate(Scale::Tiny, 4);
+    let db = std::sync::Arc::new(asqp::data::imdb::generate(Scale::Tiny, 4));
     let workload = asqp::data::imdb::workload(12, 4);
     let model = train(&db, &workload, &quick_cfg(80, 20, 4)).unwrap();
     let cfg = SessionConfig {
@@ -96,7 +96,7 @@ fn session_end_to_end_with_fine_tune() {
         drift_trigger: 2,
         ..SessionConfig::default()
     };
-    let mut session = Session::new(&db, model, cfg).unwrap();
+    let session = Session::new(db.clone(), model, cfg).unwrap();
 
     for q in &workload.queries {
         let (rs, src) = session.query(q).unwrap();
@@ -109,7 +109,62 @@ fn session_end_to_end_with_fine_tune() {
             }
         }
     }
-    assert_eq!(session.stats.queries, 12);
+    assert_eq!(session.stats().queries, 12);
+}
+
+#[test]
+fn concurrent_server_over_trained_session() {
+    use asqp::serve::{FaultPlan, ServeConfig, ServedSource, Server};
+
+    let db = std::sync::Arc::new(asqp::data::imdb::generate(Scale::Tiny, 8));
+    let workload = asqp::data::imdb::workload(12, 8);
+    let model = train(&db, &workload, &quick_cfg(80, 20, 8)).unwrap();
+    let session = Session::new(db.clone(), model, SessionConfig::default()).unwrap();
+
+    let server = Server::start(
+        session,
+        ServeConfig {
+            workers: 3,
+            faults: FaultPlan::chaos(8),
+            ..ServeConfig::default()
+        },
+    );
+    let clients = 4usize;
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let server = &server;
+            let queries = &workload.queries;
+            let db = db.clone();
+            s.spawn(move || {
+                for q in queries {
+                    let answer = server
+                        .submit(q.clone())
+                        .expect("queue depth exceeds the burst")
+                        .wait()
+                        .expect("chaos faults are transient, never fatal");
+                    if answer.source != ServedSource::Full {
+                        // Subset and degraded answers must be sound.
+                        let truth: std::collections::BTreeSet<_> =
+                            db.execute(q).unwrap().rows.into_iter().collect();
+                        for row in &answer.rows.rows {
+                            assert!(truth.contains(row), "approximate answers must be sound");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let expected = (clients * workload.queries.len()) as u64;
+    let stats = server.stats();
+    assert_eq!(stats.admitted, expected);
+    assert_eq!(
+        stats.resolved(),
+        expected,
+        "every admitted request resolves"
+    );
+    assert_eq!(stats.fatal, 0);
+    server.shutdown();
 }
 
 #[test]
