@@ -1,0 +1,530 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! Every byte of the input lands in exactly one token span, in order —
+//! concatenating `&src[tok.start..tok.end]` over the token stream
+//! reconstructs the source byte-for-byte (the corpus test enforces this
+//! over every workspace file). The lexer handles the parts of Rust's
+//! lexical grammar that matter for span fidelity: raw strings with
+//! arbitrary `#` fences, nested block comments, byte/char literals,
+//! lifetimes vs. char literals (`'a` vs `'a'`), raw identifiers
+//! (`r#match`), numeric literals with suffixes, and attributes (which
+//! are plain punctuation here; grouping happens in the engine).
+//!
+//! It does **not** build an AST — the rule engine works on the token
+//! stream plus a scope tracker, which is all the invariants need.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// `// …` (including doc `///` and `//!`), without the newline.
+    LineComment,
+    /// `/* … */`, nesting respected.
+    BlockComment,
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Raw identifier, e.g. `r#match`.
+    RawIdent,
+    /// `'a`, `'static`, `'_` — a quote followed by an identifier with no
+    /// closing quote.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// `"…"`, `b"…"` with escapes.
+    StrLit,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with any fence depth.
+    RawStrLit,
+    /// Integer or float literal, including suffix (`1_000u64`, `1e-3f32`).
+    NumLit,
+    /// A single punctuation byte (`{`, `.`, `#`, …). Multi-byte operators
+    /// are emitted as consecutive single-byte tokens; losslessness and the
+    /// rule patterns don't need them joined.
+    Punct,
+    /// Byte that fits no class (kept so the stream stays lossless).
+    Unknown,
+}
+
+/// One token: kind plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// 1-based line/column of a byte offset (column counts bytes, which matches
+/// how rustc reports columns for ASCII source).
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for (i, b) in src.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenise `src` losslessly. Never fails: bytes that fit no lexical class
+/// come back as [`TokenKind::Unknown`] so the stream always reconstructs
+/// the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Current char (the lexer is byte-driven but must step over multi-byte
+    /// UTF-8 inside identifiers, strings and comments).
+    fn cur_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump_char(&mut self) {
+        if let Some(c) = self.cur_char() {
+            self.pos += c.len_utf8();
+        } else {
+            self.pos += 1;
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = match self.cur_char() {
+            Some(c) => c,
+            None => {
+                self.pos += 1;
+                return TokenKind::Unknown;
+            }
+        };
+
+        if c.is_whitespace() {
+            while self.cur_char().is_some_and(char::is_whitespace) {
+                self.bump_char();
+            }
+            return TokenKind::Whitespace;
+        }
+
+        if c == '/' {
+            match self.peek(1) {
+                Some(b'/') => return self.line_comment(),
+                Some(b'*') => return self.block_comment(),
+                _ => {
+                    self.pos += 1;
+                    return TokenKind::Punct;
+                }
+            }
+        }
+
+        // r"…" / r#"…"# / r#ident — raw string vs. raw identifier.
+        if c == 'r' {
+            if let Some(kind) = self.try_raw(0) {
+                return kind;
+            }
+        }
+        // b'…' / b"…" / br"…" / br#"…"#.
+        if c == 'b' {
+            match self.peek(1) {
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return self.char_or_lifetime(true);
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    return self.quoted_string();
+                }
+                Some(b'r') => {
+                    if let Some(kind) = self.try_raw(1) {
+                        return kind;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if is_ident_start(c) {
+            while self.cur_char().is_some_and(is_ident_continue) {
+                self.bump_char();
+            }
+            return TokenKind::Ident;
+        }
+
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+
+        if c == '\'' {
+            return self.char_or_lifetime(false);
+        }
+        if c == '"' {
+            return self.quoted_string();
+        }
+
+        if c.is_ascii_punctuation() {
+            self.pos += 1;
+            return TokenKind::Punct;
+        }
+
+        self.bump_char();
+        TokenKind::Unknown
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump_char();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // self.pos is at `/*`. Block comments nest.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.bump_char(),
+                (None, _) => break, // unterminated: absorb to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Try to lex a raw string (`r"…"`, `r###"…"###`) or raw identifier
+    /// (`r#match`) beginning at `pos + offset` (offset skips a leading `b`).
+    /// Returns `None` when the `r` is just an ordinary identifier start.
+    fn try_raw(&mut self, offset: usize) -> Option<TokenKind> {
+        let mut i = self.pos + offset + 1; // past the `r`
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.bytes.get(i) {
+            Some(b'"') => {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                self.pos = i + 1;
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some(b'"') => {
+                            let fence = &self.bytes[self.pos + 1..];
+                            if fence.len() >= hashes && fence[..hashes].iter().all(|&b| b == b'#') {
+                                self.pos += 1 + hashes;
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => self.bump_char(),
+                    }
+                }
+                Some(TokenKind::RawStrLit)
+            }
+            Some(&b) if hashes == 1 && offset == 0 && is_ident_start(b as char) => {
+                // Raw identifier r#foo.
+                self.pos = i;
+                while self.cur_char().is_some_and(is_ident_continue) {
+                    self.bump_char();
+                }
+                Some(TokenKind::RawIdent)
+            }
+            _ => None,
+        }
+    }
+
+    /// At a `'`: decide lifetime vs. char literal. `'a` with no closing
+    /// quote is a lifetime; `'a'`, `'\n'`, `'🦀'` are char literals. Byte
+    /// chars (`b'x'`, entered with `byte = true`) are always literals.
+    fn char_or_lifetime(&mut self, byte: bool) -> TokenKind {
+        self.pos += 1; // the quote
+        if !byte {
+            if let Some(c) = self.cur_char() {
+                if is_ident_start(c) && c != '\\' {
+                    // Scan the identifier; a quote right after makes it a
+                    // char literal like 'a', otherwise it's a lifetime.
+                    let save = self.pos;
+                    while self.cur_char().is_some_and(is_ident_continue) {
+                        self.bump_char();
+                    }
+                    if self.peek(0) == Some(b'\'') {
+                        self.pos += 1;
+                        return TokenKind::CharLit;
+                    }
+                    let _ = save;
+                    return TokenKind::Lifetime;
+                }
+            }
+        }
+        // Char literal body: one (possibly escaped) char then closing quote.
+        match self.cur_char() {
+            Some('\\') => {
+                self.pos += 1;
+                self.bump_char(); // the escaped char ('\n', '\'', '\\', '\u')
+                if self.peek(0) == Some(b'{') {
+                    // \u{…}
+                    while let Some(b) = self.peek(0) {
+                        self.pos += 1;
+                        if b == b'}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            Some(_) => self.bump_char(),
+            None => return TokenKind::CharLit,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        TokenKind::CharLit
+    }
+
+    fn quoted_string(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.pos += 1;
+                    self.bump_char();
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::StrLit;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::StrLit // unterminated: absorbed to EOF
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (with radix prefixes and `_` separators).
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| (b as char).is_ascii_hexdigit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            // Fraction: a dot followed by a digit (not `1.foo()` / `1..2`).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let mut j = 1;
+                if matches!(self.peek(1), Some(b'+' | b'-')) {
+                    j = 2;
+                }
+                if self.peek(j).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += j;
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        // Type suffix (u64, f32, usize, …) — any trailing ident chars.
+        while self.cur_char().is_some_and(is_ident_continue) {
+            self.bump_char();
+        }
+        TokenKind::NumLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<(TokenKind, String)> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lex must be lossless");
+        toks.iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_punct() {
+        let toks = roundtrip("fn main() { let x = y; }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert!(toks.iter().any(|t| t.1 == ";"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = roundtrip("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = roundtrip("&'static str; &'_ T");
+        assert!(toks.iter().any(|t| t.1 == "'static"));
+        assert!(toks.iter().any(|t| t.1 == "'_"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = roundtrip(r####"let s = r#"quote " inside"#; let t = r"plain";"####);
+        let raws: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::RawStrLit)
+            .collect();
+        assert_eq!(raws.len(), 2);
+        assert!(raws[0].1.contains("quote \" inside"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = roundtrip("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::RawIdent && t.1 == "r#match"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = roundtrip(r##"let a = b'x'; let s = b"bytes"; let r = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::CharLit && t.1 == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::StrLit && t.1 == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::RawStrLit && t.1 == "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = roundtrip("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("still outer */"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let toks = roundtrip("1_000u64 + 0xFFu8 + 1.5e-3f32 + 2. .. 3");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::NumLit)
+            .map(|t| t.1.as_str())
+            .collect();
+        // `2.` lexes as `2` `.` (dot not followed by digit) — same as the
+        // range expression `2..3` — so the literal list is:
+        assert_eq!(nums, vec!["1_000u64", "0xFFu8", "1.5e-3f32", "2", "3"]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = roundtrip(r#"let s = "a \" b \\"; f(s);"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::StrLit && t.1 == r#""a \" b \\""#));
+    }
+
+    #[test]
+    fn unterminated_forms_absorb_to_eof() {
+        // Must terminate and stay lossless even on bad input.
+        roundtrip("let s = \"never closed");
+        roundtrip("/* never closed");
+        roundtrip("let c = '");
+    }
+
+    #[test]
+    fn line_col_math() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+}

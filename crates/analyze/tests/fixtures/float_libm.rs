@@ -1,0 +1,16 @@
+//@path: crates/nn/src/kernels.rs
+// Transcendental libm calls inside the kernels module: their results are
+// not bit-specified by IEEE 754, so cross-platform determinism breaks.
+
+fn activation(x: f32) -> f32 {
+    x.tanh() //~ ERROR float-libm
+}
+
+fn softmax_term(x: f64) -> f64 {
+    x.exp() //~ ERROR float-libm
+}
+
+fn exact_ops_are_fine(x: f32, y: f32) -> f32 {
+    // sqrt and mul_add are correctly-rounded per IEEE 754 — exempt.
+    x.sqrt().mul_add(y, 1.0)
+}

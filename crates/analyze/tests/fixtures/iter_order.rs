@@ -1,0 +1,27 @@
+//@path: crates/core/src/metric.rs
+// HashMap/HashSet iteration feeding a scored computation: order leaks
+// into f64 accumulation.
+
+use std::collections::{HashMap, HashSet};
+
+fn leaky_sum(weights: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_q, w) in weights { //~ ERROR iter-order
+        total += w;
+    }
+    total
+}
+
+fn leaky_set(seen: HashSet<u64>) -> Vec<u64> {
+    seen.into_iter().collect() //~ ERROR iter-order
+}
+
+fn inferred_binding() -> f64 {
+    let scores = HashMap::<String, f64>::new();
+    scores.values().sum() //~ ERROR iter-order
+}
+
+fn lookup_only_is_fine(cache: &HashMap<String, f64>, key: &str) -> f64 {
+    // Point lookups don't depend on iteration order — no finding.
+    cache.get(key).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,32 @@
+//@path: crates/core/src/metric.rs
+// Wall-clock and ambient randomness in a scored module: every one of
+// these fires `nondet`.
+
+fn score_with_timing() -> f64 {
+    let t0 = std::time::Instant::now(); //~ ERROR nondet
+    let wall = std::time::SystemTime::now(); //~ ERROR nondet
+    let _ = wall;
+    t0.elapsed().as_secs_f64()
+}
+
+fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng(); //~ ERROR nondet
+    let other = rand::rngs::StdRng::from_entropy(); //~ ERROR nondet
+    let _ = other;
+    rng.gen()
+}
+
+fn seeded_is_fine() -> u64 {
+    // Explicit seeds are the sanctioned path — no finding.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: wall-clock in assertions is harmless.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//@path: crates/telemetry/src/lib.rs
+// The telemetry crate is exempt from `nondet` by design — its whole job
+// is measuring wall-clock. Nothing here fires.
+
+pub fn span_start() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

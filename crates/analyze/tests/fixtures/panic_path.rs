@@ -1,0 +1,18 @@
+//@path: crates/serve/src/worker.rs
+// Panic vectors on the request path: one admitted query must not be able
+// to take a worker (and every queued request behind it) down.
+
+fn handle(jobs: &[u64], table: &std::collections::BTreeMap<u64, String>) -> String {
+    let first = jobs.first().unwrap(); //~ ERROR panic-path
+    let named = table.get(first).expect("job must be registered"); //~ ERROR panic-path
+    let direct = &jobs[0]; //~ ERROR panic-path
+    if named.is_empty() {
+        panic!("empty job name"); //~ ERROR panic-path
+    }
+    format!("{direct}")
+}
+
+fn graceful(jobs: &[u64]) -> Option<u64> {
+    // The fallible forms are fine.
+    jobs.first().copied()
+}

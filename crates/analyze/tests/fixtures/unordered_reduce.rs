@@ -1,0 +1,34 @@
+//@path: crates/rl/src/trainer.rs
+// Scoped-thread fan-out whose merge order is undocumented: without an
+// in-order-merge marker the reduction is presumed unordered.
+
+fn unmarked_fanout(parts: &[Vec<f32>]) -> Vec<f32> {
+    let mut out = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|p| s.spawn(move |_| p.iter().sum::<f32>())) //~ ERROR unordered-reduce
+            .collect();
+        for h in handles {
+            out.push(h.join().unwrap());
+        }
+    })
+    .unwrap();
+    out
+}
+
+fn marked_fanout(parts: &[Vec<f32>]) -> Vec<f32> {
+    // asqp::in-order-merge: handles joined in spawn order below
+    let mut out = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|p| s.spawn(move |_| p.iter().sum::<f32>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().unwrap());
+        }
+    })
+    .unwrap();
+    out
+}

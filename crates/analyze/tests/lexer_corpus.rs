@@ -1,0 +1,151 @@
+//! Lexer corpus tests: the hand-rolled lexer must be *lossless* on every
+//! Rust file in the repository — first-party crates, the root crate, test
+//! and bench trees, and the vendored `third_party/` stand-ins alike. Every
+//! byte of every file lands in exactly one token span, so concatenating
+//! the spans reconstructs the source byte-for-byte.
+//!
+//! A proptest layer then hammers the same invariant with adversarial
+//! inputs the corpus can't cover: unterminated strings, stray quotes,
+//! half-open block comments, non-UTF-8-adjacent punctuation soup.
+
+use asqp_analyze::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    asqp_analyze::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("analyze crate lives inside the workspace")
+}
+
+/// Every `.rs` file under the repo — wider than the gate's scan set on
+/// purpose: the lexer must not choke even on code the rules never see.
+fn all_rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn assert_lossless(src: &str, what: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert_eq!(
+            t.start, prev_end,
+            "{what}: gap or overlap at byte {prev_end} (token {:?})",
+            t.kind
+        );
+        assert!(t.end > t.start, "{what}: empty token {:?}", t.kind);
+        rebuilt.push_str(&src[t.start..t.end]);
+        prev_end = t.end;
+    }
+    assert_eq!(prev_end, src.len(), "{what}: trailing bytes unlexed");
+    assert_eq!(rebuilt, src, "{what}: reconstruction differs");
+}
+
+#[test]
+fn every_workspace_file_lexes_losslessly() {
+    let root = workspace_root();
+    let files = all_rust_files(&root);
+    assert!(
+        files.len() > 100,
+        "corpus unexpectedly small: {} files",
+        files.len()
+    );
+    for f in &files {
+        let src = fs::read_to_string(f).unwrap();
+        assert_lossless(&src, &f.display().to_string());
+    }
+}
+
+#[test]
+fn corpus_has_no_unknown_tokens_in_first_party_code() {
+    // `Unknown` is the lexer's recovery bucket; real workspace sources
+    // must never need it (it would mean the lexer misread something and
+    // the rules could silently skip that region).
+    let root = workspace_root();
+    for rel in asqp_analyze::workspace_files(&root).unwrap() {
+        let src = fs::read_to_string(root.join(&rel)).unwrap();
+        for t in lex(&src) {
+            assert!(
+                !matches!(t.kind, TokenKind::Unknown),
+                "{rel}: unknown token at bytes {}..{}: {:?}",
+                t.start,
+                t.end,
+                &src[t.start..t.end]
+            );
+        }
+    }
+}
+
+/// Tricky constructs the corpus may or may not exercise: raw strings with
+/// fences, lifetimes, char literals, nested comments, numeric suffixes,
+/// and deliberately *broken* forms the error recovery must absorb.
+const SOUP: &[&str] = &[
+    "r#\"raw \" quote\"#",
+    "r##\"nested \"# fence\"##",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "'",
+    "/* outer /* inner */ outer */",
+    "/* unterminated",
+    "// line comment",
+    "b\"bytes\\\"esc\"",
+    "\"unterminated",
+    "1_000u64",
+    "1.5e-3f32",
+    "0xFFu8",
+    "r#match",
+    "ident",
+    "::<>()[]{}.,;#!&|",
+    "\u{1F980}",
+    "\n",
+    " ",
+];
+
+proptest! {
+    /// Losslessness holds for *arbitrary* byte soup, not just valid Rust —
+    /// the lexer's error recovery (unterminated literals absorb to EOF,
+    /// stray bytes become `Unknown`) must still account for every byte.
+    #[test]
+    fn arbitrary_strings_lex_losslessly(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_lossless(&src, "random bytes");
+    }
+
+    /// Random interleavings of the construct table, joined with and
+    /// without separating space (adjacency is where lexers break).
+    #[test]
+    fn construct_soup_lexes_losslessly(
+        picks in prop::collection::vec((0usize..SOUP.len(), any::<bool>()), 0..24),
+    ) {
+        let mut src = String::new();
+        for (idx, spaced) in picks {
+            src.push_str(SOUP[idx]);
+            if spaced {
+                src.push(' ');
+            }
+        }
+        assert_lossless(&src, "construct soup");
+    }
+}

@@ -7,7 +7,7 @@
 //! matching groups and charging missing groups a full error of 1.
 
 use asqp_db::{AggExpr, AggFunc, Database, DbResult, Query, ResultSet, Row, SelectItem, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-query scale factor: product over FROM tables of
 /// `|T_full| / |T_subset|` (tables with an empty subset part make the query
@@ -94,8 +94,11 @@ pub fn result_relative_error(q: &Query, pred: &ResultSet, truth: &ResultSet) -> 
     }
 
     let key_of = |row: &Row| -> Vec<Value> { key_cols.iter().map(|&c| row[c].clone()).collect() };
-    let truth_map: HashMap<Vec<Value>, &Row> = truth.rows.iter().map(|r| (key_of(r), r)).collect();
-    let pred_map: HashMap<Vec<Value>, &Row> = pred.rows.iter().map(|r| (key_of(r), r)).collect();
+    // BTreeMaps so the f64 error accumulation below runs in key order:
+    // with hash maps the sum order (and thus the reported error, f64
+    // addition being non-associative) varied run to run.
+    let truth_map: BTreeMap<Vec<Value>, &Row> = truth.rows.iter().map(|r| (key_of(r), r)).collect();
+    let pred_map: BTreeMap<Vec<Value>, &Row> = pred.rows.iter().map(|r| (key_of(r), r)).collect();
 
     let mut total = 0.0;
     let mut terms = 0usize;

@@ -2,11 +2,12 @@
 //! standard pairwise-Jaccard-distance metric over query answers.
 
 use asqp_db::{Database, DbResult, Query, Row, Value, Workload};
-use std::collections::HashSet;
+// Ordered sets: token iteration stays deterministic (iter-order invariant).
+use std::collections::BTreeSet;
 
 /// Token set of one result row (string values tokenize; others stringify).
-fn row_tokens(row: &Row) -> HashSet<String> {
-    let mut set = HashSet::new();
+fn row_tokens(row: &Row) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
     for v in row {
         match v {
             Value::Str(s) => {
@@ -23,7 +24,7 @@ fn row_tokens(row: &Row) -> HashSet<String> {
 }
 
 /// Jaccard distance between two rows' token sets.
-fn jaccard_distance(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+fn jaccard_distance(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     let inter = a.intersection(b).count();
     let union = a.union(b).count();
     if union == 0 {
@@ -40,7 +41,7 @@ pub fn result_diversity(rows: &[Row]) -> f64 {
     if rows.len() < 2 {
         return 0.0;
     }
-    let tokens: Vec<HashSet<String>> = rows.iter().map(row_tokens).collect();
+    let tokens: Vec<BTreeSet<String>> = rows.iter().map(row_tokens).collect();
     let mut total = 0.0;
     let mut pairs = 0usize;
     for i in 0..tokens.len() {

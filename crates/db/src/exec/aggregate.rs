@@ -184,6 +184,7 @@ pub(super) fn aggregate(
     }
 
     // Emit rows (deterministic order: sort by group key).
+    // asqp::allow(iter-order): drained into a Vec and sorted immediately below
     let mut keyed: Vec<(Vec<Value>, Vec<AggState>)> = groups.into_iter().collect();
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
 

@@ -530,6 +530,7 @@ where
         .filter(|(a, b)| a < b)
         .collect();
     let f = &f;
+    // asqp::in-order-merge: parts concatenated in range order below
     let parts: Vec<DbResult<Vec<T>>> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()

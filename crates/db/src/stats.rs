@@ -107,6 +107,7 @@ impl TableStats {
                 *counts.entry(v).or_insert(0) += 1;
             }
             let distinct = counts.len();
+            // asqp::allow(iter-order): sorted with a total tie-break immediately below
             let mut top: Vec<(Value, usize)> = counts.into_iter().collect();
             top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             top.truncate(TOP_K);

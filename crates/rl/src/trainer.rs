@@ -143,6 +143,7 @@ impl Trainer {
         }
 
         let mut buffers: Vec<RolloutBuffer> = Vec::with_capacity(workers);
+        // asqp::in-order-merge: handles joined in spawn (seed) order below
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .iter()
@@ -172,6 +173,7 @@ impl Trainer {
         E: Environment + Clone + Send + Sync,
     {
         let _iter_span = telemetry::span("rl.iteration");
+        // asqp::allow(nondet): telemetry-gated timing; never feeds scores
         let collect_start = telemetry::enabled().then(Instant::now);
         let buf = {
             let _collect_span = telemetry::span("rl.collect");
@@ -306,6 +308,7 @@ impl Trainer {
                     .map(|s| minibatch_shard(policy, cfg, buf, s, advantages, returns, m))
                     .collect()
             } else {
+                // asqp::in-order-merge: handles joined in spawn order below
                 // Static contiguous partition of the shard list; joining the
                 // thread handles in spawn order keeps the flattened result in
                 // shard order, which the reduction below relies on.
@@ -515,6 +518,7 @@ fn rollout_worker<E: Environment>(
 ) -> RolloutBuffer {
     // Per-worker wall-clock lands in a histogram (workers run on their own
     // threads, so a span here would fragment the iteration tree).
+    // asqp::allow(nondet): telemetry-gated timing; never feeds rewards
     let worker_start = telemetry::enabled().then(Instant::now);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = RolloutBuffer::new();

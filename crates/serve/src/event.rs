@@ -84,15 +84,19 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// Poison-recovering lock: the log is a plain `Vec` push target, valid
+    /// after any interrupted append, and a panicked worker must not make
+    /// later diagnostics (which read this log) unavailable.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     pub fn push(&self, request: u64, seq: u32, kind: EventKind) {
-        self.events
-            .lock()
-            .expect("event log poisoned")
-            .push(Event { request, seq, kind });
+        self.lock().push(Event { request, seq, kind });
     }
 
     pub fn len(&self) -> usize {
-        self.events.lock().expect("event log poisoned").len()
+        self.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -101,7 +105,7 @@ impl EventLog {
 
     /// Snapshot of all events in canonical `(request, seq)` order.
     pub fn canonical(&self) -> Vec<Event> {
-        let mut evs = self.events.lock().expect("event log poisoned").clone();
+        let mut evs = self.lock().clone();
         evs.sort_by_key(|e| (e.request, e.seq));
         evs
     }

@@ -44,9 +44,17 @@ impl<T> AdmissionQueue<T> {
         self.depth
     }
 
+    /// Poison-recovering lock: a worker that panicked while holding the
+    /// mutex must not take the whole admission path down with it — the
+    /// queue state (a `VecDeque` plus a flag) is valid after any
+    /// interrupted operation.
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.lock().items.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -56,7 +64,7 @@ impl<T> AdmissionQueue<T> {
     /// Non-blocking admission: `Overloaded` at depth, `ShuttingDown` after
     /// close.
     pub fn try_push(&self, item: T) -> Result<(), ServeError> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.lock();
         if st.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -72,7 +80,7 @@ impl<T> AdmissionQueue<T> {
     /// Blocking worker-side pop. Returns `None` only when the queue is
     /// closed *and* fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
                 return Some(item);
@@ -80,18 +88,18 @@ impl<T> AdmissionQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.available.wait(st).expect("queue poisoned");
+            st = self.available.wait(st).unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Non-blocking pop (used by the discrete-event simulator).
     pub fn try_pop(&self) -> Option<T> {
-        self.state.lock().expect("queue poisoned").items.pop_front()
+        self.lock().items.pop_front()
     }
 
     /// Stop admitting; wake all blocked workers so they can drain and exit.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 }

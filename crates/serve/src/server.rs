@@ -151,6 +151,7 @@ impl<B: SessionBackend> Server<B> {
                 std::thread::Builder::new()
                     .name(format!("asqp-serve-{idx}"))
                     .spawn(move || worker_loop(idx, shared))
+                    // asqp::allow(panic-path): pool startup, before any request is admitted
                     .expect("spawn worker")
             })
             .collect();

@@ -164,11 +164,12 @@ pub fn run_sim(cfg: &SimConfig) -> SimReport {
                     seq: 1,
                 });
                 if let Some(&w) = idle.iter().next() {
-                    idle.remove(&w);
-                    let job = queue.pop_front().expect("just pushed");
-                    let done = serve_one(cfg, &log, &mut stats, job, now);
-                    makespan = makespan.max(done);
-                    push_event(&mut heap, done, SimEvent::WorkerFree { worker: w });
+                    if let Some(job) = queue.pop_front() {
+                        idle.remove(&w);
+                        let done = serve_one(cfg, &log, &mut stats, job, now);
+                        makespan = makespan.max(done);
+                        push_event(&mut heap, done, SimEvent::WorkerFree { worker: w });
+                    }
                 }
             }
             SimEvent::WorkerFree { worker } => match queue.pop_front() {
