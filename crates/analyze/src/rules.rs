@@ -47,13 +47,18 @@ impl Scope {
 }
 
 /// Scored paths: Eq.-1 metric, the GSL/DRP environments, all of RL
-/// training, and query execution (cardinalities are rewards' raw input).
+/// training, and query execution (cardinalities are rewards' raw input) —
+/// including planning: a wall-clock or ambient-randomness dependence in the
+/// optimizer or its plan cache would make join orders run-dependent.
 const NONDET: Scope = Scope {
     applies: &[
         "asqp_core::metric",
         "asqp_core::envs",
         "asqp_rl",
         "asqp_db::exec",
+        "asqp_db::plan",
+        "asqp_db::optimizer",
+        "asqp_db::plan_cache",
     ],
     // Telemetry is timing-by-design; the fault planner is seeded and pure.
     exempt: &["asqp_telemetry", "asqp_serve::fault"],
@@ -71,6 +76,9 @@ const ITER_ORDER: Scope = Scope {
         "asqp_core::estimator",
         "asqp_rl",
         "asqp_db::exec",
+        "asqp_db::plan",
+        "asqp_db::optimizer",
+        "asqp_db::plan_cache",
         "asqp_db::stats",
         "asqp_telemetry",
         "asqp_bench",

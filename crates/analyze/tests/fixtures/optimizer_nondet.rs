@@ -1,0 +1,28 @@
+//@path: crates/db/src/optimizer.rs
+// The cost-based planner is a scored path: join orders feed cardinalities
+// feed rewards. Timing-dependent tie-breaks or ambient randomness in plan
+// choice would make figure runs diverge — both fire `nondet` here.
+
+fn timed_plan_choice(costs: &[f64]) -> usize {
+    let t0 = std::time::Instant::now(); //~ ERROR nondet
+    let mut best = 0;
+    for (i, c) in costs.iter().enumerate() {
+        if *c < costs[best] {
+            best = i;
+        }
+    }
+    if t0.elapsed().as_micros() > 50 {
+        return 0; // "give up" under time pressure: plan depends on the clock
+    }
+    best
+}
+
+fn random_tie_break(candidates: &[usize]) -> usize {
+    let mut rng = rand::thread_rng(); //~ ERROR nondet
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+fn deterministic_tie_break(candidates: &[usize]) -> usize {
+    // Lowest binding index wins: the sanctioned tie-break — no finding.
+    candidates.iter().copied().min().unwrap_or(0)
+}

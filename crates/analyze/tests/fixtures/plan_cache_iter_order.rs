@@ -1,0 +1,29 @@
+//@path: crates/db/src/plan_cache.rs
+// Cache bookkeeping must not iterate hash structures: eviction order and
+// fingerprint accumulation would become run-dependent, so a "valid" cached
+// plan could differ between identical runs. The real cache uses BTreeMap
+// with a monotonic LRU tick for exactly this reason.
+
+use std::collections::HashMap;
+
+fn evict_first(entries: &mut HashMap<String, u64>) -> Option<String> {
+    let victim = entries.keys().next().cloned(); //~ ERROR iter-order
+    if let Some(k) = &victim {
+        entries.remove(k);
+    }
+    victim
+}
+
+fn fingerprint_tables(schemas: &HashMap<String, Vec<String>>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (name, cols) in schemas { //~ ERROR iter-order
+        h ^= name.len() as u64 ^ cols.len() as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn lookup_is_fine(entries: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    // Point lookups don't observe iteration order — no finding.
+    entries.get(key).copied()
+}

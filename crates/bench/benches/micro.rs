@@ -66,10 +66,12 @@ fn bench_vectorized_exec(c: &mut Criterion) {
     let vec_seq = ExecOptions {
         mode: ExecMode::Vectorized,
         shards: 1,
+        ..ExecOptions::default()
     };
     let vec_sharded = ExecOptions {
         mode: ExecMode::Vectorized,
         shards: 4,
+        ..ExecOptions::default()
     };
     let row_opts = ExecOptions::row_oriented();
 

@@ -20,7 +20,9 @@ use asqp_bench::gate::{compare, BenchReport, SCHEMA_VERSION};
 use asqp_bench::measure::{calibration_ns, measure, BenchResult};
 use asqp_bench::workloads;
 use asqp_core::{preprocess, AsqpConfig, PreprocessConfig, Session, SessionConfig};
-use asqp_db::{execute_with_options, Database, ExecMode, ExecOptions, Query};
+use asqp_db::{
+    execute_with_options, plan_query, Database, ExecMode, ExecOptions, OptimizerMode, Query,
+};
 use asqp_rl::{AgentKind, Environment, ToyCoverageEnv, Trainer, TrainerConfig};
 use asqp_serve::{run_sim, FaultPlan, MirrorBackend, RetryPolicy, ServeConfig, Server, SimConfig};
 use asqp_telemetry::MemoryRecorder;
@@ -74,10 +76,12 @@ fn exec_benches(fact_rows: usize, samples: usize, out: &mut Vec<BenchResult>) {
     let vec_seq = ExecOptions {
         mode: ExecMode::Vectorized,
         shards: 1,
+        ..ExecOptions::default()
     };
     let vec_sharded = ExecOptions {
         mode: ExecMode::Vectorized,
         shards: 4,
+        ..ExecOptions::default()
     };
     let row_opts = ExecOptions::row_oriented();
 
@@ -107,6 +111,118 @@ fn exec_benches(fact_rows: usize, samples: usize, out: &mut Vec<BenchResult>) {
     }));
     out.push(measure("join/row_oriented", warmup, samples, || {
         run_exec(&db, &join_q, row_opts)
+    }));
+}
+
+/// Gated optimizer and plan-cache benches.
+///
+/// * `db/optimizer/reorder_*` — the selective star join planned cost-based
+///   vs. with the legacy greedy heuristic (same executor either way).
+/// * `db/optimizer/limit_*` — a selective scan with `LIMIT`, with and
+///   without scan-level limit pushdown.
+/// * `db/plan_cache/{hit,miss}` — one planned query with a warm cache vs.
+///   a cache cleared before every execution (plan-from-scratch cost).
+/// * `db/plan_cache/rl_loop_{on,off}` — a reward-evaluation-shaped
+///   templated query mix over an approximation subset, cache on vs. off:
+///   the inner-loop iteration time the ISSUE's acceptance bar measures.
+fn optimizer_benches(fact_rows: usize, samples: usize, out: &mut Vec<BenchResult>) {
+    let db = workloads::star_db(fact_rows);
+    let cost = ExecOptions {
+        plan_cache: false,
+        ..ExecOptions::default()
+    };
+    let greedy = ExecOptions {
+        optimizer: OptimizerMode::Heuristic,
+        plan_cache: false,
+        ..ExecOptions::default()
+    };
+    let cached = ExecOptions {
+        plan_cache: true,
+        ..ExecOptions::default()
+    };
+    let warmup = (samples / 4).max(2);
+
+    let join_q = workloads::selective_join_query();
+    out.push(measure(
+        "db/optimizer/reorder_cost",
+        warmup,
+        samples,
+        || run_exec(&db, &join_q, cost),
+    ));
+    out.push(measure(
+        "db/optimizer/reorder_greedy",
+        warmup,
+        samples,
+        || run_exec(&db, &join_q, greedy),
+    ));
+
+    let limit_q = workloads::limited_scan_query();
+    out.push(measure(
+        "db/optimizer/limit_pushdown",
+        warmup,
+        samples,
+        || run_exec(&db, &limit_q, cost),
+    ));
+    out.push(measure(
+        "db/optimizer/limit_unpushed",
+        warmup,
+        samples,
+        || run_exec(&db, &limit_q, greedy),
+    ));
+
+    // Planning cost in isolation: a warm cache returns memoised decisions,
+    // a cleared one re-lowers, re-rewrites and re-costs the join order.
+    db.plan_cache().clear();
+    plan_query(&db, &join_q, true).unwrap(); // warm the single entry
+    out.push(measure("db/plan_cache/hit", warmup, samples, || {
+        plan_query(&db, &join_q, true).unwrap().join_order.len()
+    }));
+    out.push(measure("db/plan_cache/miss", warmup, samples, || {
+        db.plan_cache().clear();
+        plan_query(&db, &join_q, true).unwrap().join_order.len()
+    }));
+
+    // The RL inner loop: score one candidate subset against a templated
+    // workload (literals vary, shapes repeat), as `score_with_counts` does
+    // per reward evaluation. Approximation sets are *small* (that is the
+    // paper's point), so per-query planning is a real fraction of reward
+    // evaluation — the cache has to amortise it across the sweep.
+    let mix = workloads::rl_loop_queries(if fact_rows >= 50_000 { 24 } else { 12 });
+    let selection: std::collections::BTreeMap<String, Vec<usize>> = [
+        (
+            "events".to_string(),
+            (0..fact_rows).step_by(40).collect::<Vec<_>>(),
+        ),
+        (
+            "users".to_string(),
+            (0..(fact_rows / 100).max(8)).collect::<Vec<_>>(),
+        ),
+        (
+            "items".to_string(),
+            (0..(fact_rows / 50).max(8)).collect::<Vec<_>>(),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let subset = db.subset(&selection).expect("subset of the star schema");
+    subset.plan_cache().clear();
+    out.push(measure(
+        "db/plan_cache/rl_loop_off",
+        warmup,
+        samples,
+        || {
+            mix.iter()
+                .map(|q| run_exec(&subset, q, cost))
+                .sum::<usize>()
+        },
+    ));
+    mix.iter().for_each(|q| {
+        run_exec(&subset, q, cached);
+    });
+    out.push(measure("db/plan_cache/rl_loop_on", warmup, samples, || {
+        mix.iter()
+            .map(|q| run_exec(&subset, q, cached))
+            .sum::<usize>()
     }));
 }
 
@@ -264,6 +380,7 @@ fn main() -> ExitCode {
     let calibration = calibration_ns();
     let mut benches: Vec<BenchResult> = Vec::new();
     exec_benches(fact_rows, exec_samples, &mut benches);
+    optimizer_benches(fact_rows, exec_samples, &mut benches);
     nn_benches(args.reduced, exec_samples, slow_samples, &mut benches);
     rl_bench(slow_samples, &mut benches);
     session_bench(slow_samples, &mut benches);

@@ -23,6 +23,8 @@ pub const GATED_PREFIXES: &[&str] = &[
     "scan",
     "join",
     "zonemap",
+    "db/optimizer",
+    "db/plan_cache",
     "nn_matmul",
     "ppo_update",
     "serve",

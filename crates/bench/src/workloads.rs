@@ -125,6 +125,57 @@ pub fn join_query() -> Query {
     .unwrap()
 }
 
+/// Star join with a selective dimension filter (~8% of users): the
+/// cost-based reorderer should drive the join from the filtered dimension.
+/// Workload for the `db/optimizer` benches.
+pub fn selective_join_query() -> Query {
+    asqp_db::sql::parse(
+        "SELECT e.amount FROM events e, users u, items i \
+         WHERE e.user_id = u.id AND e.item_id = i.id AND u.age < 24",
+    )
+    .unwrap()
+}
+
+/// Single-binding selective scan with LIMIT: with pushdown the scan stops
+/// after `LIMIT` matches instead of materialising the full ~50% selection.
+pub fn limited_scan_query() -> Query {
+    asqp_db::sql::parse("SELECT e.id, e.amount FROM events e WHERE e.qty < 50 LIMIT 100").unwrap()
+}
+
+/// Templated query mix shaped like the RL reward-evaluation inner loop:
+/// a few shapes instantiated with many literals, so a warm plan cache
+/// plans each shape once (workload for `db/plan_cache/rl_loop_*`).
+pub fn rl_loop_queries(n_per_template: usize) -> Vec<Query> {
+    let mut out = Vec::new();
+    for k in 0..n_per_template as i64 {
+        out.push(
+            asqp_db::sql::parse(&format!(
+                "SELECT e.id FROM events e WHERE e.qty < {}",
+                10 + (k % 40)
+            ))
+            .unwrap(),
+        );
+        out.push(
+            asqp_db::sql::parse(&format!(
+                "SELECT u.region, e.amount FROM events e, users u \
+                 WHERE e.user_id = u.id AND e.amount < {}.5 LIMIT {}",
+                20 + k,
+                10 + k
+            ))
+            .unwrap(),
+        );
+        out.push(
+            asqp_db::sql::parse(&format!(
+                "SELECT e.user_id FROM events e WHERE e.id BETWEEN {} AND {}",
+                50 * k,
+                50 * k + 400
+            ))
+            .unwrap(),
+        );
+    }
+    out
+}
+
 /// Seeded square matrices for the `nn_matmul` bench — the GEMM shape the
 /// kernel layer is tuned on (`dim = 256` in the full run).
 pub fn nn_matmul_inputs(dim: usize) -> (Matrix, Matrix) {

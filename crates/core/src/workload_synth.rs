@@ -7,6 +7,7 @@ use asqp_db::{ColRef, Database, Expr, Query, TableStats, Value, ValueType, Workl
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A discovered foreign-key-like edge: `from_table.from_col` values are
 /// contained in (near-unique) `to_table.to_col`.
@@ -28,7 +29,12 @@ pub fn detect_joins(db: &Database) -> Vec<JoinEdge> {
     const UNIQUENESS: f64 = 0.9;
     const CONTAINMENT: f64 = 0.9;
 
-    let stats: Vec<TableStats> = db.tables().map(TableStats::compute).collect();
+    // Memoised in the catalog: repeated calls (or a later synthesize pass)
+    // reuse the same per-table statistics instead of rescanning.
+    let stats: Vec<Arc<TableStats>> = db
+        .table_names()
+        .map(|n| db.table_stats(n).expect("name comes from the catalog"))
+        .collect();
     let mut edges = Vec::new();
 
     for from in db.tables() {
@@ -125,9 +131,9 @@ fn fcol_join_target(from_col: &str, to: &asqp_db::Table, ty: ValueType) -> Strin
 /// (sampled with popularity), and containment-detected joins.
 pub fn synthesize_workload(db: &Database, n: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5f37);
-    let stats: Vec<TableStats> = db
-        .tables()
-        .map(TableStats::compute)
+    let stats: Vec<Arc<TableStats>> = db
+        .table_names()
+        .map(|n| db.table_stats(n).expect("name comes from the catalog"))
         .filter(|s| s.row_count > 0)
         .collect();
     let joins = detect_joins(db);

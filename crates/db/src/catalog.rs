@@ -3,13 +3,15 @@
 
 use crate::error::{DbError, DbResult};
 use crate::exec::{execute, execute_with_lineage, QueryOutput, ResultSet};
+use crate::plan_cache::PlanCache;
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::sql;
+use crate::stats::TableStats;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Memoised full-database result cardinalities (`|q(D)|` in the paper's
 /// Eq. 1), keyed by each query's canonical SQL. Derived state: cloning or
@@ -45,12 +47,56 @@ impl Clone for CountCache {
     }
 }
 
+/// Memoised per-table [`TableStats`]. Derived state with the same lifecycle
+/// as [`CountCache`]: cloning or deserialising starts empty, and every
+/// mutation entry point clears it.
+#[derive(Debug, Default)]
+struct StatsCache(RwLock<HashMap<String, Arc<TableStats>>>);
+
+impl StatsCache {
+    fn get(&self, key: &str) -> Option<Arc<TableStats>> {
+        self.0
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    fn put(&self, key: String, stats: Arc<TableStats>) {
+        self.0
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, stats);
+    }
+
+    fn clear(&self) {
+        self.0.write().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Clone for StatsCache {
+    fn clone(&self) -> Self {
+        StatsCache::default()
+    }
+}
+
 /// An in-memory database: named tables in deterministic (sorted) order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     #[serde(skip)]
     count_cache: CountCache,
+    #[serde(skip)]
+    stats_cache: StatsCache,
+    /// Query-plan cache, deliberately *shared* (`Arc`) across clones and
+    /// [`Database::subset`] outputs: subsets keep their parent's schemas, so
+    /// plans transfer — and the RL reward loop, which executes the same
+    /// templated queries against many subsets, hits instead of replanning.
+    /// Safety does not depend on this sharing: every hit is re-validated
+    /// against the executing database's schema fingerprints (see
+    /// [`crate::plan_cache`]).
+    #[serde(skip)]
+    plan_cache: Arc<PlanCache>,
 }
 
 impl Database {
@@ -64,6 +110,7 @@ impl Database {
             return Err(DbError::Duplicate(table.name().to_string()));
         }
         self.count_cache.clear();
+        self.stats_cache.clear();
         self.tables.insert(table.name().to_string(), table);
         Ok(())
     }
@@ -81,8 +128,13 @@ impl Database {
     }
 
     pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
-        // Handing out mutable table access may change any cached count.
+        // Handing out mutable table access may change any cached count or
+        // statistic. (The shared plan cache is *not* cleared: cached plans
+        // hold decisions and estimates, never data, so a stale entry can
+        // only cost plan quality — and schema changes are caught by the
+        // per-hit fingerprint validation.)
         self.count_cache.clear();
+        self.stats_cache.clear();
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -95,6 +147,7 @@ impl Database {
     /// Remove a table from the catalog, returning it.
     pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
         self.count_cache.clear();
+        self.stats_cache.clear();
         self.tables
             .remove(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -144,6 +197,24 @@ impl Database {
         self.execute(&q)
     }
 
+    /// Statistics for one table, memoised until the table mutates. The
+    /// optimizer's cost model calls this per query; without memoisation
+    /// every `explain()`/plan recomputed an O(rows × columns) pass.
+    pub fn table_stats(&self, name: &str) -> DbResult<Arc<TableStats>> {
+        if let Some(s) = self.stats_cache.get(name) {
+            return Ok(s);
+        }
+        let s = Arc::new(TableStats::compute(self.table(name)?));
+        self.stats_cache.put(name.to_string(), Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// The shared plan cache handle (see the field docs for the sharing
+    /// contract).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
     /// Build a sub-database holding only the listed row ids per table.
     /// Tables absent from `selection` are created *empty* (schema kept), so
     /// every query valid on `self` remains valid on the subset — this is the
@@ -157,6 +228,11 @@ impl Database {
             };
             out.add_table(sub)?;
         }
+        // Attach the shared plan cache *after* the build loop: the subset
+        // has identical schemas, so the parent's plans apply verbatim, and
+        // attaching last keeps `add_table`'s cache-clearing away from the
+        // shared handle.
+        out.plan_cache = Arc::clone(&self.plan_cache);
         Ok(out)
     }
 }
@@ -192,6 +268,53 @@ mod tests {
             db.create_table("t", Schema::build(&[("x", ValueType::Int)])),
             Err(DbError::Duplicate(_))
         ));
+    }
+
+    #[test]
+    fn table_stats_computed_once_per_table() {
+        use asqp_telemetry as telemetry;
+        use std::sync::Arc as StdArc;
+
+        let mut db = db();
+        let u = db
+            .create_table("u", Schema::build(&[("y", ValueType::Int)]))
+            .unwrap();
+        u.push_row(&[Value::Int(7)]).unwrap();
+
+        let rec = StdArc::new(telemetry::MemoryRecorder::new());
+        telemetry::scoped(rec.clone(), || {
+            for _ in 0..5 {
+                db.table_stats("t").unwrap();
+                db.table_stats("u").unwrap();
+            }
+        });
+        assert_eq!(
+            rec.report().counters["db.stats.computes"],
+            2,
+            "one compute per table, every later call served from the cache"
+        );
+
+        // Mutation invalidates; the next call recomputes exactly once.
+        db.table_mut("t")
+            .unwrap()
+            .push_row(&[Value::Int(99)])
+            .unwrap();
+        let rec2 = StdArc::new(telemetry::MemoryRecorder::new());
+        telemetry::scoped(rec2.clone(), || {
+            db.table_stats("t").unwrap();
+            db.table_stats("t").unwrap();
+        });
+        assert_eq!(rec2.report().counters["db.stats.computes"], 1);
+        assert_eq!(db.table_stats("t").unwrap().row_count, 6);
+    }
+
+    #[test]
+    fn subset_shares_parent_plan_cache() {
+        let db = db();
+        let sub = db.subset(&BTreeMap::new()).unwrap();
+        assert!(std::ptr::eq(db.plan_cache(), sub.plan_cache()));
+        // A plain clone also shares; deserialisation would start fresh.
+        assert!(std::ptr::eq(db.plan_cache(), db.clone().plan_cache()));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::catalog::Database;
 use crate::error::{DbError, DbResult};
 use crate::expr::{ColRef, Expr};
+use crate::optimizer::{self, OptimizerMode, PlanCacheStatus};
 use crate::query::{Query, SelectItem, TableRef};
 use crate::table::Table;
 use crate::value::{canonical_f64_bits, Row, Value};
@@ -47,6 +48,14 @@ pub struct ExecOptions {
     /// Results are identical for any value: shards are contiguous ranges
     /// concatenated in submission order.
     pub shards: usize,
+    /// How the join order is chosen (cost-based planning vs. the legacy
+    /// greedy heuristic). Orthogonal to `mode`: either scan/probe
+    /// implementation runs either plan.
+    pub optimizer: OptimizerMode,
+    /// Consult the database's shared plan cache when planning (only
+    /// meaningful with [`OptimizerMode::CostBased`]). Defaults to the
+    /// process-wide `ASQP_PLAN_CACHE` setting.
+    pub plan_cache: bool,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +65,8 @@ impl Default for ExecOptions {
             shards: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            optimizer: OptimizerMode::CostBased,
+            plan_cache: crate::plan_cache::cache_enabled_default(),
         }
     }
 }
@@ -66,6 +77,7 @@ impl ExecOptions {
         ExecOptions {
             mode: ExecMode::RowOriented,
             shards: 1,
+            ..ExecOptions::default()
         }
     }
 }
@@ -105,6 +117,27 @@ pub struct QueryOutput {
     /// `binding_tables`. Empty when the query aggregates (no tuple-level
     /// provenance exists for aggregated outputs).
     pub lineage: Vec<Lineage>,
+    /// How this execution was planned and what it actually processed
+    /// (EXPLAIN ANALYZE renders estimated vs. actual from this).
+    pub trace: ExecTrace,
+}
+
+/// Observed execution facts, aligned with the optimizer's estimates.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// Whether the plan came from the shared plan cache.
+    pub cache: PlanCacheStatus,
+    /// Binding indices in the order they were actually joined.
+    pub join_order: Vec<usize>,
+    /// Rows surviving each binding's filtered scan (FROM order).
+    pub scan_rows: Vec<usize>,
+    /// Intermediate size after each join step, before residual filters
+    /// (aligned with `join_order[1..]`).
+    pub join_rows: Vec<usize>,
+    /// The optimizer's estimates (empty in heuristic mode), FROM order /
+    /// join-step order respectively.
+    pub est_scan_rows: Vec<f64>,
+    pub est_join_rows: Vec<f64>,
 }
 
 /// One table bound in the FROM clause, with its slot offset in the flat
@@ -297,20 +330,30 @@ fn localize(e: &Expr, offset: usize) -> Expr {
 }
 
 /// Scan one table, returning row ids that pass the (localized) predicate.
-fn filtered_scan(table: &Table, pred: Option<&Expr>) -> DbResult<Vec<usize>> {
+/// Fetches only the slots the predicate references (projection pruning) and
+/// stops after `limit` passing rows (limit pushdown).
+fn filtered_scan(table: &Table, pred: Option<&Expr>, limit: Option<usize>) -> DbResult<Vec<usize>> {
     let n = table.row_count();
+    let cap = limit.unwrap_or(usize::MAX);
     let mut out = Vec::new();
     match pred {
-        None => out.extend(0..n),
+        None => out.extend(0..n.min(cap)),
         Some(p) => {
-            let ncols = table.schema().len();
-            let mut row: Row = vec![Value::Null; ncols];
+            let mut slots = Vec::new();
+            collect_slots(p, &mut slots);
+            slots.sort_unstable();
+            slots.dedup();
+            // Sparse row over just the referenced slots.
+            let mut row: Row = vec![Value::Null; table.schema().len()];
             for rid in 0..n {
-                for (c, v) in row.iter_mut().enumerate().take(ncols) {
-                    *v = table.value(rid, c);
+                for &s in &slots {
+                    row[s] = table.value(rid, s);
                 }
                 if p.matches(&row)? {
                     out.push(rid);
+                    if out.len() >= cap {
+                        break;
+                    }
                 }
             }
         }
@@ -387,6 +430,22 @@ pub fn execute_with_options(
         });
     }
 
+    // --- Plan ------------------------------------------------------------
+    // Cost-based planning happens on the *unbound* query (the optimizer
+    // re-derives conjunct classification itself, which is what makes cached
+    // plans literal-independent). Heuristic mode skips planning entirely.
+    let planned = match opts.optimizer {
+        OptimizerMode::CostBased => Some(optimizer::plan_query(db, query, opts.plan_cache)?),
+        OptimizerMode::Heuristic => None,
+    };
+    // Limit pushdown is only ever planned for single-table queries whose
+    // conjuncts all push down; the guard is belt-and-braces for cached plans.
+    let scan_limit = if layout.bindings.len() == 1 {
+        planned.as_ref().and_then(|p| p.scan_limit)
+    } else {
+        None
+    };
+
     // --- Filtered scans (predicate pushdown) ----------------------------
     let mut scans: Vec<Vec<usize>> = Vec::with_capacity(layout.bindings.len());
     {
@@ -395,9 +454,11 @@ pub fn execute_with_options(
             let local: Vec<Expr> = single[i].iter().map(|e| localize(e, b.offset)).collect();
             let scan = match opts.mode {
                 ExecMode::Vectorized => {
-                    vector::filtered_scan_vectorized(b.table, &local, opts.shards)?
+                    vector::filtered_scan_vectorized(b.table, &local, opts.shards, scan_limit)?
                 }
-                ExecMode::RowOriented => filtered_scan(b.table, Expr::conjunction(local).as_ref())?,
+                ExecMode::RowOriented => {
+                    filtered_scan(b.table, Expr::conjunction(local).as_ref(), scan_limit)?
+                }
             };
             scans.push(scan);
         }
@@ -419,14 +480,20 @@ pub fn execute_with_options(
 
     // --- Join ------------------------------------------------------------
     // Intermediate rows are row-id tuples aligned with layout.bindings;
-    // usize::MAX marks a binding not yet joined. Join order is greedy by
-    // filtered-scan size: start from the smallest scan and always extend
-    // with the smallest *connected* binding, which keeps intermediates small
-    // on the snowflake shapes the workloads use.
+    // usize::MAX marks a binding not yet joined. The join order comes from
+    // the cost-based plan when one exists (and is a valid permutation —
+    // cached plans are re-validated here too), else from the legacy greedy
+    // smallest-scan heuristic.
     const UNSET: usize = usize::MAX;
     let nb = layout.bindings.len();
+    let scan_lens: Vec<usize> = scans.iter().map(|s| s.len()).collect();
+    let order: Vec<usize> = planned
+        .as_ref()
+        .map(|p| p.join_order.clone())
+        .filter(|o| is_permutation(o, nb))
+        .unwrap_or_else(|| greedy_order(&scan_lens, &joins));
     let mut joined = vec![false; nb];
-    let start = (0..nb).min_by_key(|&b| scans[b].len()).unwrap_or(0);
+    let start = order[0];
     let mut inter: Vec<Vec<usize>> = scans[start]
         .iter()
         .map(|&rid| {
@@ -438,31 +505,14 @@ pub fn execute_with_options(
     joined[start] = true;
     let mut remaining_joins: Vec<BoundJoin> = joins;
     let mut pending_residual = residual;
+    let mut join_rows: Vec<usize> = Vec::with_capacity(nb.saturating_sub(1));
 
     let join_span = if nb > 1 {
         Some(telemetry::span("db.exec.join"))
     } else {
         None
     };
-    for _ in 1..nb {
-        // Smallest unjoined binding connected to the joined set, else the
-        // smallest unjoined binding overall (cartesian fallback).
-        let connected = |b: usize| {
-            remaining_joins.iter().any(|j| {
-                (j.left_binding == b && joined[j.right_binding])
-                    || (j.right_binding == b && joined[j.left_binding])
-            })
-        };
-        let next = (0..nb)
-            .filter(|&b| !joined[b] && connected(b))
-            .min_by_key(|&b| scans[b].len())
-            .or_else(|| {
-                (0..nb)
-                    .filter(|&b| !joined[b])
-                    .min_by_key(|&b| scans[b].len())
-            });
-        let Some(next) = next else { break };
-
+    for &next in order.iter().skip(1) {
         // Conditions linking `next` to the joined set (probe side keys from
         // the intermediate, build side keys from `next`).
         let mut link: Vec<(usize, usize)> = Vec::new(); // (probe slot, build slot)
@@ -547,6 +597,7 @@ pub fn execute_with_options(
             }
         }
         joined[next] = true;
+        join_rows.push(inter.len());
 
         // Apply residual conjuncts that are now fully bound.
         let ready: Vec<Expr> = {
@@ -580,6 +631,18 @@ pub fn execute_with_options(
         inter = filter_intermediate(&layout, inter, &pred)?;
     }
 
+    let trace = ExecTrace {
+        cache: planned.as_ref().map(|p| p.cache).unwrap_or_default(),
+        join_order: order,
+        scan_rows: scan_lens,
+        join_rows,
+        est_scan_rows: planned
+            .as_ref()
+            .map(|p| p.est_scan_rows.clone())
+            .unwrap_or_default(),
+        est_join_rows: planned.map(|p| p.est_join_rows).unwrap_or_default(),
+    };
+
     // --- Aggregate or project -------------------------------------------
     if query.is_aggregate() {
         let _agg_span = telemetry::span("db.exec.aggregate");
@@ -592,6 +655,7 @@ pub fn execute_with_options(
                 .map(|b| b.table.name().to_string())
                 .collect(),
             lineage: Vec::new(),
+            trace,
         });
     }
 
@@ -675,7 +739,59 @@ pub fn execute_with_options(
             .map(|b| b.table.name().to_string())
             .collect(),
         lineage,
+        trace,
     })
+}
+
+/// Is `order` a permutation of `0..nb`? Cached plans are re-checked so a
+/// corrupt or mismatched entry can never index out of bounds.
+fn is_permutation(order: &[usize], nb: usize) -> bool {
+    let mut seen = vec![false; nb];
+    order.len() == nb
+        && order
+            .iter()
+            .all(|&b| b < nb && !std::mem::replace(&mut seen[b], true))
+}
+
+/// The legacy greedy join order: start from the smallest filtered scan,
+/// then always extend with the smallest *connected* binding (smallest
+/// remaining binding as the cartesian fallback). A pure function of scan
+/// sizes and join connectivity, replicating the selection the execution
+/// loop used before cost-based planning existed.
+fn greedy_order(scan_lens: &[usize], joins: &[BoundJoin]) -> Vec<usize> {
+    let nb = scan_lens.len();
+    let mut joined = vec![false; nb];
+    let mut used = vec![false; joins.len()];
+    let start = (0..nb).min_by_key(|&b| scan_lens[b]).unwrap_or(0);
+    let mut order = vec![start];
+    joined[start] = true;
+    while order.len() < nb {
+        let connected = |b: usize| {
+            joins.iter().zip(&used).any(|(j, &u)| {
+                !u && ((j.left_binding == b && joined[j.right_binding])
+                    || (j.right_binding == b && joined[j.left_binding]))
+            })
+        };
+        let next = (0..nb)
+            .filter(|&b| !joined[b] && connected(b))
+            .min_by_key(|&b| scan_lens[b])
+            .or_else(|| {
+                (0..nb)
+                    .filter(|&b| !joined[b])
+                    .min_by_key(|&b| scan_lens[b])
+            });
+        let Some(next) = next else { break };
+        joined[next] = true;
+        order.push(next);
+        // A condition is consumed once both its endpoints are joined —
+        // exactly when the execution loop's `retain` would take it.
+        for (j, u) in joins.iter().zip(used.iter_mut()) {
+            if !*u && joined[j.left_binding] && joined[j.right_binding] {
+                *u = true;
+            }
+        }
+    }
+    order
 }
 
 fn filter_intermediate(

@@ -551,14 +551,21 @@ where
 
 /// Vectorized filtered scan: compile, zone-prune, then run morsels
 /// (optionally sharded). Returns passing row ids in ascending order.
+///
+/// `limit` (from the optimizer's limit pushdown) stops after that many
+/// passing rows. Each shard caps its own output and the in-order
+/// concatenation is truncated, so the result is byte-identical to a
+/// sequential early-stopping scan.
 pub(super) fn filtered_scan_vectorized(
     table: &Table,
     conjuncts: &[Expr],
     shards: usize,
+    limit: Option<usize>,
 ) -> DbResult<Vec<usize>> {
     let n = table.row_count();
+    let cap = limit.unwrap_or(usize::MAX);
     if conjuncts.is_empty() {
-        return Ok((0..n).collect());
+        return Ok((0..n.min(cap)).collect());
     }
     let compiled = compile(conjuncts, table);
     if compiled.always_empty || n == 0 {
@@ -622,6 +629,11 @@ pub(super) fn filtered_scan_vectorized(
                 apply_kernel(k, table, &mut sel)?;
             }
             out.extend_from_slice(&sel);
+            if out.len() >= cap {
+                // This shard alone can satisfy the pushed-down limit; later
+                // chunks cannot contribute to the first `cap` results.
+                break;
+            }
         }
         if track {
             pruned_total.fetch_add(pruned, AtomicOrdering::Relaxed);
@@ -629,6 +641,8 @@ pub(super) fn filtered_scan_vectorized(
         }
         Ok(out)
     })?;
+    let mut out = out;
+    out.truncate(cap);
     if track {
         telemetry::counter(
             "db.zonemap.morsels_pruned",

@@ -1,178 +1,188 @@
-//! `EXPLAIN`-style plan description: shows the pushed-down filters, the
-//! greedy join order the executor will use, residual predicates and the
-//! final operators — without executing anything beyond the filtered scans'
-//! cardinality estimation.
+//! Plan printer: renders the optimizer's logical tree with estimated (and,
+//! for `EXPLAIN ANALYZE`, actual) cardinalities plus plan-cache status.
+//!
+//! [`explain`] plans without executing; [`explain_analyze`] executes the
+//! query with the default executor configuration and aligns the observed
+//! scan/join cardinalities with the optimizer's estimates from the
+//! execution trace.
 
 use crate::catalog::Database;
 use crate::error::DbResult;
+use crate::exec::{execute_with_options, ExecOptions, ExecTrace};
+use crate::optimizer::{optimize, Optimized};
+use crate::plan::LogicalPlan;
+use crate::plan_cache::{cache_enabled_default, normalized_key};
 use crate::query::Query;
-use crate::stats::TableStats;
 use std::fmt::Write as _;
 
-/// Render a human-readable plan for `query` against `db`.
+/// Render the optimized plan for `query` without executing it.
 ///
-/// The join order shown matches the executor's greedy smallest-scan-first
-/// strategy, using statistics-estimated (not executed) scan cardinalities.
+/// The header reports plan-cache temperature for this query shape: `warm`
+/// (a later execution will reuse a cached plan), `cold` (it will plan and
+/// populate the cache) or `off` (caching disabled via `ASQP_PLAN_CACHE`).
 pub fn explain(db: &Database, query: &Query) -> DbResult<String> {
+    let opt = optimize(db, query)?;
+    let cache = if !cache_enabled_default() {
+        "off"
+    } else if db.plan_cache().peek(&normalized_key(query)) {
+        // peek never refreshes the LRU tick: explaining a plan must not
+        // change eviction behaviour.
+        "warm"
+    } else {
+        "cold"
+    };
     let mut out = String::new();
     let _ = writeln!(out, "QUERY: {}", query.to_sql());
-
-    // Per-binding estimated scan sizes (selectivity from histograms where a
-    // single-table numeric range is recognisable; row count otherwise).
-    let mut scans: Vec<(String, String, usize)> = Vec::new(); // (binding, table, est rows)
-    for tref in &query.from {
-        let table = db.table(&tref.table)?;
-        let stats = TableStats::compute(table);
-        let est = estimate_scan(query, tref.binding(), &stats);
-        scans.push((tref.binding().to_string(), tref.table.clone(), est));
-    }
-
-    let _ = writeln!(out, "SCANS:");
-    for (binding, table, est) in &scans {
-        let pushed: Vec<String> = query
-            .predicate
-            .iter()
-            .flat_map(|p| p.clone().split_conjuncts())
-            .filter(|c| {
-                let mut cols = Vec::new();
-                c.collect_columns(&mut cols);
-                !cols.is_empty() && cols.iter().all(|c| c.table.as_deref() == Some(binding))
-            })
-            .map(|c| c.to_string())
-            .collect();
-        let _ = writeln!(
-            out,
-            "  {binding} ({table}): ~{est} rows{}",
-            if pushed.is_empty() {
-                String::new()
-            } else {
-                format!("  [pushed: {}]", pushed.join(" AND "))
-            }
-        );
-    }
-
-    // Greedy join order: smallest estimated scan first, then smallest
-    // connected (mirrors exec.rs).
-    if scans.len() > 1 {
-        let n = scans.len();
-        let mut joined = vec![false; n];
-        let idx_of = |b: &str| scans.iter().position(|(x, _, _)| x == b);
-        let connected = |b: usize, joined: &[bool]| {
-            query.joins.iter().any(|j| {
-                let l = j.left.table.as_deref().and_then(idx_of);
-                let r = j.right.table.as_deref().and_then(idx_of);
-                matches!((l, r), (Some(l), Some(r))
-                    if (l == b && joined[r]) || (r == b && joined[l]))
-            })
-        };
-        let start = (0..n).min_by_key(|&i| scans[i].2).unwrap_or(0);
-        joined[start] = true;
-        let mut order = vec![start];
-        for _ in 1..n {
-            let next = (0..n)
-                .filter(|&b| !joined[b] && connected(b, &joined))
-                .min_by_key(|&b| scans[b].2)
-                .or_else(|| (0..n).filter(|&b| !joined[b]).min_by_key(|&b| scans[b].2));
-            let Some(next) = next else { break };
-            joined[next] = true;
-            order.push(next);
-        }
-        let _ = writeln!(out, "JOIN ORDER (hash joins, greedy smallest-first):");
-        let mut described = String::new();
-        for (i, &b) in order.iter().enumerate() {
-            if i == 0 {
-                described = scans[b].0.clone();
-            } else {
-                let conds: Vec<String> = query
-                    .joins
-                    .iter()
-                    .filter(|j| {
-                        j.left.table.as_deref() == Some(&scans[b].0)
-                            || j.right.table.as_deref() == Some(&scans[b].0)
-                    })
-                    .map(|j| j.to_string())
-                    .collect();
-                let _ = writeln!(
-                    out,
-                    "  {described} ⋈ {} {}",
-                    scans[b].0,
-                    if conds.is_empty() {
-                        "(cartesian)".to_string()
-                    } else {
-                        format!("ON {}", conds.join(" AND "))
-                    }
-                );
-                described = format!("({described} ⋈ {})", scans[b].0);
-            }
-        }
-    }
-
-    if query.is_aggregate() {
-        let _ = writeln!(
-            out,
-            "AGGREGATE: group by {:?}",
-            query
-                .group_by
-                .iter()
-                .map(|g| g.to_string())
-                .collect::<Vec<_>>()
-        );
-    }
-    if query.distinct {
-        let _ = writeln!(out, "DISTINCT");
-    }
-    if !query.order_by.is_empty() {
-        let _ = writeln!(out, "SORT: {} key(s)", query.order_by.len());
-    }
-    if let Some(l) = query.limit {
-        let _ = writeln!(out, "LIMIT {l}");
-    }
+    let _ = writeln!(out, "PLAN (cost-based, cache: {cache}):");
+    render(&mut out, &opt, None);
     Ok(out)
 }
 
-/// Estimate the filtered scan size of one binding from its statistics.
-fn estimate_scan(query: &Query, binding: &str, stats: &TableStats) -> usize {
-    let mut selectivity = 1.0f64;
-    if let Some(pred) = &query.predicate {
-        for conj in pred.clone().split_conjuncts() {
-            let mut cols = Vec::new();
-            conj.collect_columns(&mut cols);
-            if cols.is_empty() || !cols.iter().all(|c| c.table.as_deref() == Some(binding)) {
-                continue;
-            }
-            // Recognise BETWEEN lo AND hi / col CMP lit on numeric columns.
-            use crate::expr::{CmpOp, Expr};
-            let col_sel = match &conj {
-                Expr::Between {
-                    expr,
-                    low,
-                    high,
-                    negated: false,
-                } => match (expr.as_ref(), low.as_ref(), high.as_ref()) {
-                    (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) => stats
-                        .column(&c.column)
-                        .zip(lo.as_f64().zip(hi.as_f64()))
-                        .map(|(cs, (lo, hi))| cs.range_selectivity(lo, hi)),
-                    _ => None,
-                },
-                Expr::Cmp { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
-                    (Expr::Column(c), Expr::Literal(v)) => stats.column(&c.column).and_then(|cs| {
-                        let f = v.as_f64()?;
-                        Some(match op {
-                            CmpOp::Ge | CmpOp::Gt => cs.range_selectivity(f, f64::INFINITY),
-                            CmpOp::Le | CmpOp::Lt => cs.range_selectivity(f64::NEG_INFINITY, f),
-                            CmpOp::Eq => 1.0 / cs.distinct.max(1) as f64,
-                            CmpOp::Ne => 1.0 - 1.0 / cs.distinct.max(1) as f64,
-                        })
-                    }),
-                    _ => None,
-                },
-                _ => None,
+/// Execute `query` (default executor configuration), then render the plan
+/// annotated with actual cardinalities next to the estimates.
+pub fn explain_analyze(db: &Database, query: &Query) -> DbResult<String> {
+    let output = execute_with_options(db, query, ExecOptions::default())?;
+    let opt = optimize(db, query)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "QUERY: {}", query.to_sql());
+    let _ = writeln!(
+        out,
+        "PLAN (cost-based, cache: {}):",
+        output.trace.cache.as_str()
+    );
+    render(&mut out, &opt, Some(&output.trace));
+    let _ = writeln!(out, "rows returned: {}", output.result.len());
+    Ok(out)
+}
+
+fn render(out: &mut String, opt: &Optimized, trace: Option<&ExecTrace>) {
+    // Join actuals only align with the rendered tree when the executed
+    // order matches this optimization (a cached plan from the same template
+    // normally agrees; a stale-but-valid one may not).
+    let joins_aligned = trace.is_some_and(|t| t.join_order == opt.physical.join_order);
+    render_node(out, &opt.root, opt, trace, joins_aligned, 1);
+}
+
+fn render_node(
+    out: &mut String,
+    node: &LogicalPlan,
+    opt: &Optimized,
+    trace: Option<&ExecTrace>,
+    joins_aligned: bool,
+    depth: usize,
+) {
+    let pad = "  ".repeat(depth);
+    match node {
+        LogicalPlan::Limit { input, n } => {
+            let _ = writeln!(out, "{pad}Limit {n}");
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct");
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Project { input, items } => {
+            let items: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+            let _ = writeln!(out, "{pad}Project [{}]", items.join(", "));
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let keys: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.column, if k.desc { " DESC" } else { "" }))
+                .collect();
+            let _ = writeln!(out, "{pad}Sort [{}]", keys.join(", "));
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let groups: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+            let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate [{}] group by [{}]",
+                aggs.join(", "),
+                groups.join(", ")
+            );
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let _ = writeln!(out, "{pad}Filter {predicate}  [residual]");
+            render_node(out, input, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            est_rows,
+        } => {
+            let cond = if on.is_empty() {
+                "(cartesian)".to_string()
+            } else {
+                let conds: Vec<String> = on.iter().map(|j| j.to_string()).collect();
+                format!("ON {}", conds.join(" AND "))
             };
-            selectivity *= col_sel.unwrap_or(0.5); // unknown shapes: ½ guess
+            // This node is join step `left.join_count()` (0-based) in the
+            // left-deep order.
+            let step = left.join_count();
+            let actual = trace
+                .filter(|_| joins_aligned)
+                .and_then(|t| t.join_rows.get(step));
+            let _ = writeln!(
+                out,
+                "{pad}Join {cond}  ({})",
+                card(est_rows.as_ref(), actual)
+            );
+            render_node(out, left, opt, trace, joins_aligned, depth + 1);
+            render_node(out, right, opt, trace, joins_aligned, depth + 1);
+        }
+        LogicalPlan::Scan {
+            binding,
+            filters,
+            columns,
+            limit,
+            est_rows,
+        } => {
+            let info = &opt.ctx.bindings[*binding];
+            let name = if info.name == info.table {
+                info.table.clone()
+            } else {
+                format!("{} AS {}", info.table, info.name)
+            };
+            let actual = trace.and_then(|t| t.scan_rows.get(*binding));
+            let _ = write!(
+                out,
+                "{pad}Scan {name}  ({})",
+                card(est_rows.as_ref(), actual)
+            );
+            if !filters.is_empty() {
+                let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                let _ = write!(out, "  [pushed: {}]", fs.join(" AND "));
+            }
+            if let Some(cols) = columns {
+                let _ = write!(out, "  [cols: {}]", cols.join(", "));
+            }
+            if let Some(n) = limit {
+                let _ = write!(out, "  [limit {n}]");
+            }
+            let _ = writeln!(out);
         }
     }
-    ((stats.row_count as f64) * selectivity).round().max(0.0) as usize
+}
+
+/// `est ~N rows` plus `, actual M` when an aligned execution trace exists.
+fn card(est: Option<&f64>, actual: Option<&usize>) -> String {
+    let mut s = match est {
+        Some(e) => format!("est ~{} rows", e.round().max(0.0) as u64),
+        None => "est ? rows".to_string(),
+    };
+    if let Some(a) = actual {
+        let _ = write!(s, ", actual {a}");
+    }
+    s
 }
 
 #[cfg(test)]
@@ -206,18 +216,22 @@ mod tests {
         let db = db();
         let q = parse("SELECT * FROM big b, small s WHERE b.id = s.id").unwrap();
         let plan = explain(&db, &q).unwrap();
-        assert!(plan.contains("s (small): ~10 rows"), "{plan}");
-        assert!(plan.contains("s ⋈ b"), "small side drives the join: {plan}");
+        // The driving (first-joined) scan is the deepest *left* leaf, so the
+        // cheap side prints before the big side in the rendered tree.
+        let small_at = plan.find("Scan small AS s").expect("small scan shown");
+        let big_at = plan.find("Scan big AS b").expect("big scan shown");
+        assert!(small_at < big_at, "small side drives the join:\n{plan}");
+        assert!(plan.contains("Join ON b.id = s.id"), "{plan}");
     }
 
     #[test]
     fn selectivity_shown_for_pushed_filters() {
         let db = db();
-        let q = parse("SELECT * FROM big b WHERE b.x BETWEEN 0 AND 9").unwrap();
+        let q = parse("SELECT b.id FROM big b WHERE b.x BETWEEN 0 AND 9").unwrap();
         let plan = explain(&db, &q).unwrap();
         // ~10% of 1000 rows.
         let est: usize = plan
-            .split("~")
+            .split('~')
             .nth(1)
             .and_then(|s| s.split(' ').next())
             .and_then(|s| s.parse().ok())
@@ -227,15 +241,49 @@ mod tests {
             "estimate {est} out of range\n{plan}"
         );
         assert!(plan.contains("[pushed:"), "{plan}");
+        assert!(plan.contains("[cols: id, x]"), "pruned column set:\n{plan}");
     }
 
     #[test]
-    fn aggregate_and_limit_sections() {
+    fn aggregate_sort_and_limit_nodes() {
         let db = db();
         let q = parse("SELECT b.x, COUNT(*) FROM big b GROUP BY b.x ORDER BY b.x LIMIT 5").unwrap();
         let plan = explain(&db, &q).unwrap();
-        assert!(plan.contains("AGGREGATE"));
-        assert!(plan.contains("LIMIT 5"));
-        assert!(plan.contains("SORT"));
+        assert!(plan.contains("Aggregate"), "{plan}");
+        assert!(plan.contains("Limit 5"), "{plan}");
+        assert!(plan.contains("Sort [b.x]"), "{plan}");
+    }
+
+    #[test]
+    fn cache_status_reflects_prior_planning() {
+        let db = db();
+        let q = parse("SELECT b.id FROM big b WHERE b.x = 4").unwrap();
+        if cache_enabled_default() {
+            assert!(explain(&db, &q).unwrap().contains("cache: cold"));
+            db.execute(&q).unwrap(); // populates the shared cache
+            let plan = explain(&db, &q).unwrap();
+            assert!(plan.contains("cache: warm"), "{plan}");
+        } else {
+            assert!(explain(&db, &q).unwrap().contains("cache: off"));
+        }
+    }
+
+    #[test]
+    fn analyze_reports_estimated_and_actual() {
+        let db = db();
+        let q = parse("SELECT b.id FROM big b, small s WHERE b.id = s.id AND b.x < 50").unwrap();
+        let plan = explain_analyze(&db, &q).unwrap();
+        assert!(plan.contains("actual"), "{plan}");
+        assert!(plan.contains("rows returned:"), "{plan}");
+        // Scan actuals are attached per binding: small is unfiltered.
+        assert!(plan.contains("actual 10"), "{plan}");
+    }
+
+    #[test]
+    fn limit_pushdown_annotated() {
+        let db = db();
+        let q = parse("SELECT b.id FROM big b WHERE b.x >= 0 LIMIT 3").unwrap();
+        let plan = explain(&db, &q).unwrap();
+        assert!(plan.contains("[limit 3]"), "scan-level limit:\n{plan}");
     }
 }

@@ -9,6 +9,10 @@
 //!   ([`Database::execute`]), including per-row **lineage**
 //!   ([`Database::execute_with_lineage`]) mapping result rows back to base
 //!   rows — the hook ASQP-RL's pre-processing uses to build its action space
+//! * a cost-based optimizer ([`plan_query`]) over a logical-plan IR
+//!   ([`plan`]): predicate/projection/limit pushdown plus histogram-driven
+//!   join reordering, with an LRU [`PlanCache`] keyed by normalized SQL so
+//!   the RL loop's templated queries replan once, not thousands of times
 //! * table/column statistics ([`TableStats`]) feeding workload synthesis and
 //!   sampling baselines
 //! * sub-database materialisation ([`Database::subset`]) used to evaluate
@@ -25,6 +29,9 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod optimizer;
+pub mod plan;
+pub mod plan_cache;
 pub mod query;
 pub mod schema;
 pub mod sql;
@@ -39,11 +46,14 @@ pub use catalog::Database;
 pub use column::{Column, ColumnData};
 pub use error::{DbError, DbResult, ErrorClass};
 pub use exec::{
-    execute_nested_loop, execute_with_options, ExecMode, ExecOptions, Lineage, QueryOutput,
-    ResultSet,
+    execute_nested_loop, execute_with_options, ExecMode, ExecOptions, ExecTrace, Lineage,
+    QueryOutput, ResultSet,
 };
-pub use explain::explain;
+pub use explain::{explain, explain_analyze};
 pub use expr::{ArithOp, CmpOp, ColRef, Expr};
+pub use optimizer::{optimize, plan_query, OptimizerMode, PhysicalPlan, PlanCacheStatus};
+pub use plan::{LogicalPlan, PlanContext};
+pub use plan_cache::PlanCache;
 pub use query::{AggExpr, AggFunc, JoinCond, OrderKey, Query, QueryBuilder, SelectItem, TableRef};
 pub use schema::{ColumnDef, Schema};
 pub use sql_stmt::{execute_statement, parse_statement, Statement, StatementResult};

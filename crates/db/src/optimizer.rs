@@ -1,0 +1,592 @@
+//! Cost-based query optimizer.
+//!
+//! [`optimize`] lowers a [`Query`] to the logical IR ([`crate::plan`]),
+//! applies the rewrite rules (predicate pushdown, projection pruning, limit
+//! pushdown) and then reorders the join tree with a [`CostModel`] fed from
+//! memoised [`TableStats`] histograms and zone-map bounds. [`plan_query`] is
+//! the executor's entry point: it wraps `optimize` with the shared
+//! [`PlanCache`](crate::plan_cache::PlanCache) so templated queries — same
+//! shape, different literals — reuse their join order and pushdown decisions
+//! instead of replanning.
+//!
+//! Everything here is deterministic: cost ties break toward the lowest
+//! binding index, estimates are pure functions of table statistics, and the
+//! cache evicts in tick order — the same query against the same data always
+//! yields the same plan, which the determinism harness (fig02 double runs)
+//! relies on.
+
+use crate::catalog::Database;
+use crate::error::DbResult;
+use crate::expr::{CmpOp, ColRef, Expr};
+use crate::plan::{
+    build_join_tree, flatten_join_tree, limit_pushable, lower, prune_columns, push_limit,
+    push_predicates, rebuild_chain, split_join_tree, LogicalPlan, PlanContext,
+};
+use crate::plan_cache::{normalized_key, schema_fingerprint, CachedPlan};
+use crate::query::{JoinCond, Query};
+use crate::stats::TableStats;
+use crate::value::Value;
+use crate::zonemap::{TableZones, ZoneBounds};
+use asqp_telemetry as telemetry;
+use std::sync::Arc;
+
+/// How the executor chooses a join order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerMode {
+    /// Full pipeline: rewrites + cost-based join reordering (+ plan cache).
+    #[default]
+    CostBased,
+    /// Legacy greedy smallest-scan-first order, no planning. Kept as the
+    /// oracle baseline and for A/B benchmarks.
+    Heuristic,
+}
+
+/// Whether a plan came from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanCacheStatus {
+    Hit,
+    Miss,
+    /// The cache was not consulted (disabled, or heuristic mode).
+    #[default]
+    Bypass,
+}
+
+impl PlanCacheStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlanCacheStatus::Hit => "hit",
+            PlanCacheStatus::Miss => "miss",
+            PlanCacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
+/// The optimizer's decisions in the form the executor consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Binding indices (into `Query::from`) in execution order.
+    pub join_order: Vec<usize>,
+    /// Shape-only flag (see [`CachedPlan::limit_pushdown`]).
+    pub limit_pushdown: bool,
+    /// The LIMIT value to stop the (single) scan at, instantiated from the
+    /// live query when `limit_pushdown` holds.
+    pub scan_limit: Option<usize>,
+    /// Estimated filtered rows per binding.
+    pub est_scan_rows: Vec<f64>,
+    /// Estimated intermediate rows after each join step (len = bindings-1).
+    pub est_join_rows: Vec<f64>,
+    pub cache: PlanCacheStatus,
+}
+
+/// A fully optimized query: the annotated logical tree (for EXPLAIN) plus
+/// the physical decisions (for the executor).
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    pub root: LogicalPlan,
+    pub ctx: PlanContext,
+    pub physical: PhysicalPlan,
+}
+
+/// Run the full optimization pipeline, without consulting the plan cache.
+pub fn optimize(db: &Database, query: &Query) -> DbResult<Optimized> {
+    let ctx = PlanContext::new(db, &query.from)?;
+    let root = {
+        let _s = telemetry::span("db.optimize.lower");
+        lower(query, &ctx)?
+    };
+    let root = {
+        let _s = telemetry::span("db.optimize.pushdown");
+        push_limit(prune_columns(push_predicates(root, &ctx)?, &ctx)?)
+    };
+    let _s = telemetry::span("db.optimize.reorder");
+    let limit_pushdown = limit_pushable(&root);
+    let (chain, core) = split_join_tree(root);
+    let (scans, conds) = flatten_join_tree(core);
+
+    let model = CostModel::new(db, &ctx)?;
+    let est_scan_rows: Vec<f64> = scans
+        .iter()
+        .map(|s| match s {
+            LogicalPlan::Scan {
+                binding, filters, ..
+            } => model.scan_rows(*binding, filters),
+            _ => unreachable!("flatten_join_tree returns scans"),
+        })
+        .collect();
+    let mut triples: Vec<(usize, usize, f64)> = Vec::with_capacity(conds.len());
+    for j in &conds {
+        let lb = ctx.binding_of(&j.left)?;
+        let rb = ctx.binding_of(&j.right)?;
+        triples.push((lb, rb, model.join_selectivity(j)?));
+    }
+    let (join_order, est_join_rows) = cost_order(&est_scan_rows, &triples);
+
+    let scans: Vec<LogicalPlan> = scans
+        .into_iter()
+        .map(|s| match s {
+            LogicalPlan::Scan {
+                binding,
+                filters,
+                columns,
+                limit,
+                ..
+            } => LogicalPlan::Scan {
+                est_rows: Some(est_scan_rows[binding]),
+                binding,
+                filters,
+                columns,
+                limit,
+            },
+            _ => unreachable!(),
+        })
+        .collect();
+    let core = build_join_tree(scans, conds, &join_order, &est_join_rows, &ctx)?;
+    let root = rebuild_chain(chain, core);
+
+    let physical = PhysicalPlan {
+        join_order,
+        limit_pushdown,
+        scan_limit: if limit_pushdown { query.limit } else { None },
+        est_scan_rows,
+        est_join_rows,
+        cache: PlanCacheStatus::Bypass,
+    };
+    Ok(Optimized {
+        root,
+        ctx,
+        physical,
+    })
+}
+
+/// Plan a query for execution, going through the database's shared plan
+/// cache when `use_cache` holds. Hits are validated against the executing
+/// database's per-binding table names and schema fingerprints, so a cache
+/// shared across clones/subsets can never produce an ill-typed plan.
+pub fn plan_query(db: &Database, query: &Query, use_cache: bool) -> DbResult<PhysicalPlan> {
+    let _s = telemetry::span("db.optimize");
+    if !use_cache {
+        return Ok(optimize(db, query)?.physical);
+    }
+    let key = normalized_key(query);
+    if let Some(cached) = db.plan_cache().get(&key) {
+        if cache_valid(db, query, &cached) {
+            telemetry::counter("db.plan_cache.hit", 1);
+            return Ok(PhysicalPlan {
+                join_order: cached.join_order,
+                limit_pushdown: cached.limit_pushdown,
+                scan_limit: if cached.limit_pushdown {
+                    query.limit
+                } else {
+                    None
+                },
+                est_scan_rows: cached.est_scan_rows,
+                est_join_rows: cached.est_join_rows,
+                cache: PlanCacheStatus::Hit,
+            });
+        }
+    }
+    telemetry::counter("db.plan_cache.miss", 1);
+    let mut physical = optimize(db, query)?.physical;
+    let mut tables = Vec::with_capacity(query.from.len());
+    for tref in &query.from {
+        let schema = db.table(&tref.table)?.schema();
+        tables.push((tref.table.clone(), schema_fingerprint(schema)));
+    }
+    db.plan_cache().put(
+        key,
+        CachedPlan {
+            join_order: physical.join_order.clone(),
+            limit_pushdown: physical.limit_pushdown,
+            est_scan_rows: physical.est_scan_rows.clone(),
+            est_join_rows: physical.est_join_rows.clone(),
+            tables,
+        },
+    );
+    physical.cache = PlanCacheStatus::Miss;
+    Ok(physical)
+}
+
+/// A cached plan applies iff the query still names the same tables and each
+/// table's schema fingerprint is unchanged on the executing database.
+fn cache_valid(db: &Database, query: &Query, cached: &CachedPlan) -> bool {
+    if cached.tables.len() != query.from.len() || cached.join_order.len() != query.from.len() {
+        return false;
+    }
+    query
+        .from
+        .iter()
+        .zip(&cached.tables)
+        .all(|(tref, (name, fp))| {
+            tref.table == *name
+                && db
+                    .table(&tref.table)
+                    .is_ok_and(|t| schema_fingerprint(t.schema()) == *fp)
+        })
+}
+
+/// Selectivity and cardinality estimates for one query's bindings, built on
+/// memoised table statistics and zone-map whole-column bounds.
+pub struct CostModel {
+    stats: Vec<Arc<TableStats>>,
+    zones: Vec<Arc<TableZones>>,
+    ctx: PlanContext,
+}
+
+impl CostModel {
+    pub fn new(db: &Database, ctx: &PlanContext) -> DbResult<CostModel> {
+        let mut stats = Vec::with_capacity(ctx.bindings.len());
+        let mut zones = Vec::with_capacity(ctx.bindings.len());
+        for b in &ctx.bindings {
+            stats.push(db.table_stats(&b.table)?);
+            zones.push(db.table(&b.table)?.zone_maps());
+        }
+        Ok(CostModel {
+            stats,
+            zones,
+            ctx: ctx.clone(),
+        })
+    }
+
+    /// Estimated rows surviving a binding's pushed-down filters.
+    pub fn scan_rows(&self, binding: usize, filters: &[Expr]) -> f64 {
+        let rows = self.stats[binding].row_count as f64;
+        filters
+            .iter()
+            .fold(rows, |acc, f| acc * self.conjunct_selectivity(binding, f))
+    }
+
+    /// Equi-join selectivity: `1 / max(distinct_left, distinct_right, 1)`,
+    /// the textbook containment assumption.
+    pub fn join_selectivity(&self, cond: &JoinCond) -> DbResult<f64> {
+        let d = |c: &ColRef| -> DbResult<usize> {
+            let b = self.ctx.binding_of(c)?;
+            Ok(self.stats[b].column(&c.column).map_or(0, |cs| cs.distinct))
+        };
+        let dl = d(&cond.left)?;
+        let dr = d(&cond.right)?;
+        Ok(1.0 / dl.max(dr).max(1) as f64)
+    }
+
+    /// Zone-map whole-column numeric bounds for a column, if tracked.
+    fn zone_bounds(&self, binding: usize, column: &str) -> Option<(f64, f64)> {
+        let ci = self.ctx.bindings[binding]
+            .columns
+            .iter()
+            .position(|n| n == column)?;
+        let zones = self.zones[binding].columns.get(ci)?.as_ref()?;
+        match zones.whole.bounds? {
+            ZoneBounds::Int { min, max } => Some((min as f64, max as f64)),
+            ZoneBounds::Float { min, max } => Some((min, max)),
+        }
+    }
+
+    /// Selectivity of a single-binding conjunct. Histogram overlap for
+    /// ranges, top-value frequencies (falling back to `1/distinct`) for
+    /// equality, null fractions for IS NULL; zone-map bounds prove empty
+    /// ranges outright. Unknown shapes estimate 0.5.
+    pub fn conjunct_selectivity(&self, binding: usize, e: &Expr) -> f64 {
+        let stats = &self.stats[binding];
+        let rows = stats.row_count as f64;
+        if rows == 0.0 {
+            return 0.0;
+        }
+        let flip = |s: f64, negated: bool| {
+            if negated {
+                (1.0 - s).clamp(0.0, 1.0)
+            } else {
+                s
+            }
+        };
+        match e {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
+                    (&**expr, &**low, &**high)
+                else {
+                    return 0.5;
+                };
+                let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) else {
+                    return 0.5;
+                };
+                flip(self.range_sel(binding, &c.column, lo, hi), *negated)
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                // Normalise to column-op-literal, flipping when reversed.
+                let (c, op, lit) = match (&**lhs, &**rhs) {
+                    (Expr::Column(c), Expr::Literal(v)) => (c, *op, v),
+                    (Expr::Literal(v), Expr::Column(c)) => (c, op.flip(), v),
+                    _ => return 0.5,
+                };
+                match op {
+                    CmpOp::Eq => self.eq_sel(binding, &c.column, lit),
+                    CmpOp::Ne => flip(self.eq_sel(binding, &c.column, lit), true),
+                    CmpOp::Lt | CmpOp::Le => match lit.as_f64() {
+                        Some(f) => self.range_sel(binding, &c.column, f64::NEG_INFINITY, f),
+                        None => 0.5,
+                    },
+                    CmpOp::Gt | CmpOp::Ge => match lit.as_f64() {
+                        Some(f) => self.range_sel(binding, &c.column, f, f64::INFINITY),
+                        None => 0.5,
+                    },
+                }
+            }
+            Expr::In {
+                expr,
+                list,
+                negated,
+            } => {
+                let Expr::Column(c) = &**expr else { return 0.5 };
+                let s: f64 = list
+                    .iter()
+                    .map(|v| self.eq_sel(binding, &c.column, v))
+                    .sum();
+                flip(s.min(1.0), *negated)
+            }
+            Expr::IsNull { expr, negated } => {
+                let Expr::Column(c) = &**expr else { return 0.5 };
+                let s = stats
+                    .column(&c.column)
+                    .map_or(0.0, |cs| cs.null_count as f64 / rows);
+                flip(s, *negated)
+            }
+            Expr::Like { negated, .. } => flip(0.25, *negated),
+            _ => 0.5,
+        }
+    }
+
+    fn range_sel(&self, binding: usize, column: &str, lo: f64, hi: f64) -> f64 {
+        if let Some((zmin, zmax)) = self.zone_bounds(binding, column) {
+            if hi < zmin || lo > zmax {
+                return 0.0; // zone maps prove the range empty
+            }
+        }
+        self.stats[binding]
+            .column(column)
+            .map_or(0.5, |cs| cs.range_selectivity(lo, hi))
+    }
+
+    fn eq_sel(&self, binding: usize, column: &str, v: &Value) -> f64 {
+        if let (Some(f), Some((zmin, zmax))) = (v.as_f64(), self.zone_bounds(binding, column)) {
+            if f < zmin || f > zmax {
+                return 0.0;
+            }
+        }
+        let rows = self.stats[binding].row_count as f64;
+        let Some(cs) = self.stats[binding].column(column) else {
+            return 0.5;
+        };
+        if let Some((_, cnt)) = cs.top_values.iter().find(|(tv, _)| tv == v) {
+            return *cnt as f64 / rows;
+        }
+        if cs.distinct == 0 {
+            0.0
+        } else {
+            1.0 / cs.distinct as f64
+        }
+    }
+}
+
+/// Greedy cost-based join ordering: start at the binding with the smallest
+/// estimated filtered scan, then repeatedly join the binding with the
+/// smallest estimated intermediate — preferring bindings *connected* to the
+/// joined set by an unused join condition (cartesian products only as a
+/// last resort). Ties break toward the lowest binding index, so plan choice
+/// is deterministic.
+///
+/// Returns the order and the estimated intermediate size after each step.
+pub fn cost_order(ests: &[f64], conds: &[(usize, usize, f64)]) -> (Vec<usize>, Vec<f64>) {
+    let nb = ests.len();
+    let mut start = 0usize;
+    for (b, &e) in ests.iter().enumerate().skip(1) {
+        if e < ests[start] {
+            start = b;
+        }
+    }
+    let mut order = vec![start];
+    let mut est_join_rows = Vec::with_capacity(nb.saturating_sub(1));
+    let mut joined = vec![false; nb];
+    joined[start] = true;
+    let mut used = vec![false; conds.len()];
+    let mut cur = ests[start];
+    while order.len() < nb {
+        // (connected, est, binding) — connected beats unconnected, then
+        // lowest estimate, then lowest binding index (strict `<` below).
+        let mut best: Option<(bool, f64, usize)> = None;
+        for (b, &scan_est) in ests.iter().enumerate() {
+            if joined[b] {
+                continue;
+            }
+            let mut sel = 1.0;
+            let mut connected = false;
+            for (ci, &(lb, rb, s)) in conds.iter().enumerate() {
+                if !used[ci] && ((joined[lb] && rb == b) || (joined[rb] && lb == b)) {
+                    connected = true;
+                    sel *= s;
+                }
+            }
+            let est = cur * scan_est * sel;
+            let wins = match best {
+                None => true,
+                Some((bc, be, _)) => (connected && !bc) || (connected == bc && est < be),
+            };
+            if wins {
+                best = Some((connected, est, b));
+            }
+        }
+        let (_, est, b) = best.expect("at least one unjoined binding remains");
+        joined[b] = true;
+        order.push(b);
+        cur = est;
+        est_join_rows.push(est);
+        for (ci, &(lb, rb, _)) in conds.iter().enumerate() {
+            if !used[ci] && joined[lb] && joined[rb] {
+                used[ci] = true;
+            }
+        }
+    }
+    (order, est_join_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::sql::parse;
+    use crate::value::ValueType;
+
+    /// fact(10_000 rows) joins dim(100) and tiny(5); a filter on dim leaves
+    /// ~5 rows, so the cost-based order must start at dim, while the greedy
+    /// smallest-scan heuristic would start at tiny.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let fact = db
+            .create_table(
+                "fact",
+                Schema::build(&[
+                    ("id", ValueType::Int),
+                    ("dim_id", ValueType::Int),
+                    ("tiny_id", ValueType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..10_000i64 {
+            fact.push_row(&[Value::Int(i), Value::Int(i % 100), Value::Int(i % 5)])
+                .unwrap();
+        }
+        let dim = db
+            .create_table(
+                "dim",
+                Schema::build(&[("id", ValueType::Int), ("x", ValueType::Int)]),
+            )
+            .unwrap();
+        for i in 0..100i64 {
+            dim.push_row(&[Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        let tiny = db
+            .create_table("tiny", Schema::build(&[("id", ValueType::Int)]))
+            .unwrap();
+        for i in 0..5i64 {
+            tiny.push_row(&[Value::Int(i)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn reorder_starts_at_most_selective_binding() {
+        let db = db();
+        let q = parse(
+            "SELECT f.id FROM fact AS f, dim AS d, tiny AS y \
+             WHERE f.dim_id = d.id AND f.tiny_id = y.id AND d.x < 3",
+        )
+        .unwrap();
+        let opt = optimize(&db, &q).unwrap();
+        // Bindings: f=0, d=1, y=2. The filtered dim scan (~3 rows) beats
+        // tiny (5 rows) and starts; fact joins next (connected), tiny last.
+        assert_eq!(opt.physical.join_order, vec![1, 0, 2]);
+        assert!(opt.physical.est_scan_rows[1] < 5.0);
+        assert_eq!(opt.physical.est_join_rows.len(), 2);
+    }
+
+    #[test]
+    fn connected_bindings_preferred_over_cartesian() {
+        // ests: a=10, b=1000, c=2; a-b joined by a selective cond, c isolated.
+        // Pure min would pick c second (cartesian); connected-first picks b.
+        let (order, _) = cost_order(&[10.0, 1000.0, 2.0], &[(0, 1, 0.001)]);
+        assert_eq!(order, vec![2, 0, 1], "start min, then stay connected");
+
+        let (order, _) = cost_order(&[10.0, 1000.0, 2.0], &[]);
+        assert_eq!(order, vec![2, 0, 1], "no conds: ascending size");
+    }
+
+    #[test]
+    fn zone_bounds_prove_empty_ranges() {
+        let db = db();
+        let q = parse("SELECT d.id FROM dim AS d WHERE d.x > 5000").unwrap();
+        let opt = optimize(&db, &q).unwrap();
+        assert_eq!(opt.physical.est_scan_rows, vec![0.0]);
+    }
+
+    #[test]
+    fn plan_cache_hit_returns_same_decisions_with_live_limit() {
+        let db = db();
+        let q1 = parse("SELECT f.id FROM fact AS f WHERE f.dim_id = 3 LIMIT 7").unwrap();
+        let q2 = parse("SELECT f.id FROM fact AS f WHERE f.dim_id = 90 LIMIT 11").unwrap();
+        let p1 = plan_query(&db, &q1, true).unwrap();
+        assert_eq!(p1.cache, PlanCacheStatus::Miss);
+        assert!(p1.limit_pushdown);
+        assert_eq!(p1.scan_limit, Some(7));
+        let p2 = plan_query(&db, &q2, true).unwrap();
+        assert_eq!(p2.cache, PlanCacheStatus::Hit);
+        assert_eq!(p2.scan_limit, Some(11), "limit instantiated per query");
+        assert_eq!(p2.join_order, p1.join_order);
+    }
+
+    #[test]
+    fn cache_rejects_schema_changes() {
+        let mut db = db();
+        let q = parse("SELECT d.id FROM dim AS d WHERE d.x < 5").unwrap();
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Miss
+        );
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Hit
+        );
+
+        // Replace dim with a different schema under the same name.
+        db.drop_table("dim").unwrap();
+        let dim = db
+            .create_table(
+                "dim",
+                Schema::build(&[("id", ValueType::Int), ("x", ValueType::Float)]),
+            )
+            .unwrap();
+        dim.push_row(&[Value::Int(1), Value::Float(0.5)]).unwrap();
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Miss,
+            "fingerprint mismatch forces a replan"
+        );
+    }
+
+    #[test]
+    fn subsets_hit_the_parent_cache() {
+        let db = db();
+        let q = parse("SELECT f.id FROM fact AS f, dim AS d WHERE f.dim_id = d.id").unwrap();
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Miss
+        );
+        let sub = db.subset(&std::collections::BTreeMap::new()).unwrap();
+        assert_eq!(
+            plan_query(&sub, &q, true).unwrap().cache,
+            PlanCacheStatus::Hit,
+            "subset shares the parent's plan cache and schemas"
+        );
+    }
+}

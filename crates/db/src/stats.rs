@@ -8,6 +8,7 @@
 
 use crate::table::Table;
 use crate::value::{Value, ValueType};
+use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -75,7 +76,13 @@ pub struct TableStats {
 
 impl TableStats {
     /// Compute statistics with a single pass per column.
+    ///
+    /// This is an O(rows × columns) walk; per-query callers should go
+    /// through [`crate::catalog::Database::table_stats`], which memoises the
+    /// result until the table mutates. The counter below is what the
+    /// memoisation regression test asserts on.
     pub fn compute(table: &Table) -> TableStats {
+        telemetry::counter("db.stats.computes", 1);
         let n = table.row_count();
         let mut columns = Vec::with_capacity(table.schema().len());
         for (ci, cdef) in table.schema().columns().iter().enumerate() {

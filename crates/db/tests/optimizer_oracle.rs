@@ -1,0 +1,299 @@
+//! Property-test oracle: the cost-based optimizer must not change what a
+//! query *means*.
+//!
+//! Three comparisons, each pinning a different part of the contract:
+//!
+//! 1. **Exactness across executors.** With the same cost-based plan, the
+//!    vectorized and row-oriented paths must agree byte-for-byte on rows,
+//!    order, and lineage — the plan fully determines the answer.
+//! 2. **Equivalence against the legacy heuristic.** Cost-based planning may
+//!    reorder joins (changing tuple order for un-ordered queries), so the
+//!    oracle compares multisets of `(row, lineage)` pairs; for `LIMIT`
+//!    queries it checks the prefix contract (right length, rows drawn from
+//!    the full result, sort keys respected) instead.
+//! 3. **Plan-cache transparency.** Re-running a query through the shared
+//!    plan cache must hit and return the identical answer.
+//!
+//! Queries come from the same canonical-AST generator as the SQL round-trip
+//! suite (`common::gen_query_upto`), extended to three-way joins, plus fixed
+//! pushdown-adversarial shapes (cross-binding residuals, LIMIT under
+//! ORDER BY / DISTINCT) checked against the nested-loop reference executor.
+
+mod common;
+
+use asqp_db::exec::{execute_with_options, ExecMode, ExecOptions, QueryOutput};
+use asqp_db::query::{OrderKey, Query};
+use asqp_db::{
+    execute_nested_loop, Database, Lineage, OptimizerMode, PlanCacheStatus, ResultSet, Row,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn opts(mode: ExecMode, optimizer: OptimizerMode, plan_cache: bool) -> ExecOptions {
+    ExecOptions {
+        mode,
+        optimizer,
+        plan_cache,
+        ..ExecOptions::default()
+    }
+}
+
+fn run(db: &Database, q: &Query, o: ExecOptions) -> QueryOutput {
+    execute_with_options(db, q, o).expect("generated query must execute")
+}
+
+/// Multiset view of a result: rows paired with their lineage (empty for
+/// aggregates), sorted canonically so order differences vanish. DISTINCT
+/// queries compare rows only (`with_lineage: false`): which base tuple
+/// represents a deduplicated row legitimately depends on join order.
+fn multiset(out: &QueryOutput, with_lineage: bool) -> Vec<(Row, Lineage)> {
+    let mut v: Vec<(Row, Lineage)> = out
+        .result
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let lin = if with_lineage {
+                out.lineage.get(i).cloned().unwrap_or_default()
+            } else {
+                Lineage::new()
+            };
+            (r.clone(), lin)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn sorted_rows(rs: &ResultSet) -> Vec<Row> {
+    let mut v = rs.rows.clone();
+    v.sort();
+    v
+}
+
+/// Verify `rs` is ordered by `keys` — only when every key column appears in
+/// the output (ORDER BY on non-projected columns can't be checked from the
+/// result alone).
+fn check_order(rs: &ResultSet, keys: &[OrderKey]) {
+    let slots: Vec<(usize, bool)> = keys
+        .iter()
+        .filter_map(|k| {
+            let name = k.column.to_string();
+            rs.columns
+                .iter()
+                .position(|c| *c == name)
+                .map(|i| (i, k.desc))
+        })
+        .collect();
+    if slots.len() != keys.len() {
+        return;
+    }
+    for w in rs.rows.windows(2) {
+        let mut ord = std::cmp::Ordering::Equal;
+        for &(slot, desc) in &slots {
+            ord = w[0][slot].cmp(&w[1][slot]);
+            if desc {
+                ord = ord.reverse();
+            }
+            if ord != std::cmp::Ordering::Equal {
+                break;
+            }
+        }
+        assert_ne!(
+            ord,
+            std::cmp::Ordering::Greater,
+            "result not sorted by {keys:?}"
+        );
+    }
+}
+
+/// `sub` must be a sub-multiset of `full`.
+fn assert_sub_multiset(sub: &[(Row, Lineage)], full: &[(Row, Lineage)], sql: &str) {
+    let mut i = 0;
+    for item in sub {
+        while i < full.len() && &full[i] < item {
+            i += 1;
+        }
+        assert!(
+            i < full.len() && &full[i] == item,
+            "row {item:?} not in full result\n  sql: {sql}"
+        );
+        i += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Optimized ≡ unoptimized over randomized canonical queries.
+    #[test]
+    fn optimizer_preserves_semantics(seed in any::<u64>()) {
+        let db = common::fixture_db();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = common::gen_query_upto(&mut rng, 3);
+        let sql = q.to_sql();
+
+        // 1. Same plan, different executors: exact agreement.
+        let cost_vec = run(&db, &q, opts(ExecMode::Vectorized, OptimizerMode::CostBased, false));
+        let cost_row = run(&db, &q, opts(ExecMode::RowOriented, OptimizerMode::CostBased, false));
+        prop_assert_eq!(&cost_vec.result.columns, &cost_row.result.columns, "sql: {}", sql);
+        prop_assert_eq!(&cost_vec.result.rows, &cost_row.result.rows, "sql: {}", sql);
+        prop_assert_eq!(&cost_vec.lineage, &cost_row.lineage, "sql: {}", sql);
+
+        // 2. Cost-based vs. the legacy greedy heuristic.
+        let heur = run(&db, &q, opts(ExecMode::Vectorized, OptimizerMode::Heuristic, false));
+        prop_assert_eq!(&cost_vec.result.columns, &heur.result.columns, "sql: {}", sql);
+        match q.limit {
+            None => {
+                let with_lineage = !q.distinct;
+                prop_assert_eq!(
+                    multiset(&cost_vec, with_lineage),
+                    multiset(&heur, with_lineage),
+                    "sql: {}", sql
+                );
+                check_order(&cost_vec.result, &q.order_by);
+            }
+            Some(n) => {
+                // Both executions see the same full result; LIMIT keeps any
+                // n of it (deterministically per plan, but plans differ).
+                let full_q = Query { limit: None, ..q.clone() };
+                let full = run(&db, &full_q, opts(ExecMode::Vectorized, OptimizerMode::Heuristic, false));
+                let expect_len = n.min(full.result.len());
+                prop_assert_eq!(cost_vec.result.len(), expect_len, "sql: {}", sql);
+                prop_assert_eq!(heur.result.len(), expect_len, "sql: {}", sql);
+                let with_lineage = !q.distinct;
+                assert_sub_multiset(
+                    &multiset(&cost_vec, with_lineage),
+                    &multiset(&full, with_lineage),
+                    &sql,
+                );
+                check_order(&cost_vec.result, &q.order_by);
+            }
+        }
+
+        // 3. Plan-cache transparency: second run hits and agrees exactly.
+        let c1 = run(&db, &q, opts(ExecMode::Vectorized, OptimizerMode::CostBased, true));
+        let c2 = run(&db, &q, opts(ExecMode::Vectorized, OptimizerMode::CostBased, true));
+        prop_assert_eq!(c2.trace.cache, PlanCacheStatus::Hit, "sql: {}", sql);
+        prop_assert_eq!(&c1.result.rows, &c2.result.rows, "sql: {}", sql);
+        prop_assert_eq!(&c1.lineage, &c2.lineage, "sql: {}", sql);
+    }
+}
+
+// --- Fixed pushdown-adversarial shapes, checked against the nested-loop
+// --- reference executor.
+
+fn parse(sql: &str) -> Query {
+    asqp_db::sql::parse(sql).unwrap()
+}
+
+/// Cross-binding comparison in WHERE stays a residual filter above the join;
+/// pushing it into either scan would drop rows.
+#[test]
+fn cross_binding_residual_filter_survives() {
+    let db = common::fixture_db();
+    let q = parse(
+        "SELECT t.id, p.year FROM title AS t, person AS p \
+         WHERE t.id = p.id AND t.year < p.year",
+    );
+    let reference = execute_nested_loop(&db, &q).unwrap();
+    let got = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::CostBased, false),
+    );
+    assert!(!got.result.is_empty(), "fixture must exercise the residual");
+    assert_eq!(sorted_rows(&got.result), sorted_rows(&reference));
+}
+
+/// LIMIT under ORDER BY must not truncate the scan: the top-k by sort key
+/// has to match the reference executor's keys exactly.
+#[test]
+fn limit_under_order_by_sorts_before_truncating() {
+    let db = common::fixture_db();
+    let q = parse("SELECT t.year FROM title AS t ORDER BY t.year DESC LIMIT 5");
+    let reference = execute_nested_loop(&db, &q).unwrap();
+    let got = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::CostBased, false),
+    );
+    // Key values must agree even if ties broke differently.
+    assert_eq!(sorted_rows(&got.result), sorted_rows(&reference));
+    check_order(&got.result, &q.order_by);
+}
+
+/// LIMIT above DISTINCT counts distinct rows, not scanned rows.
+#[test]
+fn limit_above_distinct_counts_distinct_rows() {
+    let db = common::fixture_db();
+    let q = parse("SELECT DISTINCT t.kind FROM title AS t LIMIT 2");
+    let full = parse("SELECT DISTINCT t.kind FROM title AS t");
+    let distinct: Vec<Row> = execute_nested_loop(&db, &full).unwrap().rows;
+    let got = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::CostBased, false),
+    );
+    assert_eq!(got.result.len(), 2.min(distinct.len()));
+    for row in &got.result.rows {
+        assert!(distinct.contains(row), "{row:?} not a distinct kind");
+    }
+}
+
+/// Aggregates over a join agree with the reference executor exactly (the
+/// group ordering is pinned by ORDER BY).
+#[test]
+fn aggregate_over_join_matches_reference() {
+    let db = common::fixture_db();
+    let q = parse(
+        "SELECT t.kind, COUNT(*), AVG(t.score) FROM title AS t, movie_cast AS mc \
+         WHERE t.id = mc.id GROUP BY t.kind ORDER BY t.kind",
+    );
+    let reference = execute_nested_loop(&db, &q).unwrap();
+    for optimizer in [OptimizerMode::CostBased, OptimizerMode::Heuristic] {
+        let got = run(&db, &q, opts(ExecMode::Vectorized, optimizer, false));
+        assert_eq!(got.result.rows, reference.rows, "optimizer {optimizer:?}");
+    }
+}
+
+/// Single-binding LIMIT pushdown truncates the scan without changing the
+/// answer: scan order is table order, so cost-based (pushed) and heuristic
+/// (unpushed) agree exactly.
+#[test]
+fn single_table_limit_pushdown_is_exact() {
+    let db = common::fixture_db();
+    let q = parse("SELECT t.id FROM title AS t WHERE t.year > 100 LIMIT 4");
+    let pushed = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::CostBased, false),
+    );
+    let unpushed = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::Heuristic, false),
+    );
+    assert_eq!(pushed.result.rows, unpushed.result.rows);
+    assert_eq!(pushed.lineage, unpushed.lineage);
+    assert_eq!(pushed.result.len(), 4);
+}
+
+/// NULL semantics under negation: `NOT (x < k)` must not resurrect NULL
+/// rows, whichever side of the optimizer runs the predicate.
+#[test]
+fn negated_predicates_keep_null_semantics() {
+    let db = common::fixture_db();
+    let q = parse("SELECT t.id FROM title AS t WHERE NOT (t.year < 250)");
+    let reference = execute_nested_loop(&db, &q).unwrap();
+    let got = run(
+        &db,
+        &q,
+        opts(ExecMode::Vectorized, OptimizerMode::CostBased, false),
+    );
+    assert_eq!(sorted_rows(&got.result), sorted_rows(&reference));
+    let with_nulls = parse("SELECT t.id FROM title AS t");
+    let total = execute_nested_loop(&db, &with_nulls).unwrap().len();
+    assert!(got.result.len() < total, "NULL years must be filtered out");
+}

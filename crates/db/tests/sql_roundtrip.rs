@@ -8,214 +8,15 @@
 //! parse/display cycle reaches text that re-parses to itself, which is the
 //! contract callers rely on when they persist query text.
 
-use asqp_db::expr::{CmpOp, ColRef, Expr};
-use asqp_db::query::{AggExpr, AggFunc, JoinCond, OrderKey, Query, SelectItem, TableRef};
+mod common;
+
+use asqp_db::expr::ColRef;
+use asqp_db::query::JoinCond;
 use asqp_db::sql::parse;
-use asqp_db::value::Value;
+use common::gen_query;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const TABLES: &[(&str, &str)] = &[
-    ("title", "t"),
-    ("person", "p"),
-    ("movie_cast", "mc"),
-    ("company", "c"),
-];
-const COLUMNS: &[&str] = &["id", "name", "year", "kind", "score", "note"];
-const WORDS: &[&str] = &["drama", "comedy", "alpha", "beta2", "x"];
-const PATTERNS: &[&str] = &["a%", "%ing", "_b%", "abc", "%x_"];
-
-fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
-    xs[rng.random_range(0..xs.len())]
-}
-
-fn col(rng: &mut StdRng, bindings: &[&str]) -> ColRef {
-    ColRef::new(pick(rng, bindings), pick(rng, COLUMNS))
-}
-
-fn literal(rng: &mut StdRng) -> Value {
-    match rng.random_range(0..3u8) {
-        0 => Value::Int(rng.random_range(0..10_000i64)),
-        // Forced fraction: a float that printed without a dot ("2") would
-        // re-parse as an Int and break the round-trip.
-        1 => Value::Float(rng.random_range(0..2_000i64) as f64 + 0.5),
-        _ => Value::Str(pick(rng, WORDS).to_string()),
-    }
-}
-
-/// A predicate atom: never a bare `col = col` (the parser would lift a
-/// cross-binding one into `joins`, changing the AST shape).
-fn atom(rng: &mut StdRng, bindings: &[&str]) -> Expr {
-    let c = Expr::Column(col(rng, bindings));
-    match rng.random_range(0..5u8) {
-        0 => {
-            let op = pick(
-                rng,
-                &[
-                    CmpOp::Eq,
-                    CmpOp::Ne,
-                    CmpOp::Lt,
-                    CmpOp::Le,
-                    CmpOp::Gt,
-                    CmpOp::Ge,
-                ],
-            );
-            Expr::cmp(op, c, Expr::Literal(literal(rng)))
-        }
-        1 => {
-            let lo = rng.random_range(0..500i64);
-            let hi = lo + rng.random_range(0..500i64);
-            Expr::Between {
-                expr: Box::new(c),
-                low: Box::new(Expr::lit(lo)),
-                high: Box::new(Expr::lit(hi)),
-                negated: rng.random_bool(0.3),
-            }
-        }
-        2 => {
-            let n = rng.random_range(1..4usize);
-            let list = if rng.random_bool(0.5) {
-                (0..n)
-                    .map(|_| Value::Int(rng.random_range(0..100)))
-                    .collect()
-            } else {
-                (0..n)
-                    .map(|_| Value::Str(pick(rng, WORDS).to_string()))
-                    .collect()
-            };
-            Expr::In {
-                expr: Box::new(c),
-                list,
-                negated: rng.random_bool(0.3),
-            }
-        }
-        3 => Expr::Like {
-            expr: Box::new(c),
-            pattern: pick(rng, PATTERNS).to_string(),
-            negated: rng.random_bool(0.3),
-        },
-        _ => Expr::IsNull {
-            expr: Box::new(c),
-            negated: rng.random_bool(0.5),
-        },
-    }
-}
-
-/// Expression strictly inside an OR/NOT subtree: protected from conjunct
-/// splitting, so any And/Or/Not shape round-trips.
-fn inner(rng: &mut StdRng, bindings: &[&str], depth: u8) -> Expr {
-    if depth == 0 {
-        return atom(rng, bindings);
-    }
-    match rng.random_range(0..4u8) {
-        0 => Expr::and(
-            inner(rng, bindings, depth - 1),
-            inner(rng, bindings, depth - 1),
-        ),
-        1 => Expr::or(
-            inner(rng, bindings, depth - 1),
-            inner(rng, bindings, depth - 1),
-        ),
-        2 => Expr::Not(Box::new(inner(rng, bindings, depth - 1))),
-        _ => atom(rng, bindings),
-    }
-}
-
-/// One element of the top-level conjunction spine: an atom, or an OR/NOT
-/// subtree — never an AND, which would flatten into the spine and get
-/// rebuilt left-deep.
-fn conjunct(rng: &mut StdRng, bindings: &[&str]) -> Expr {
-    match rng.random_range(0..4u8) {
-        0 => Expr::or(inner(rng, bindings, 2), inner(rng, bindings, 2)),
-        1 => Expr::Not(Box::new(inner(rng, bindings, 1))),
-        _ => atom(rng, bindings),
-    }
-}
-
-fn gen_query(rng: &mut StdRng) -> Query {
-    let n_tables = rng.random_range(1..3usize);
-    let mut from = Vec::new();
-    let mut bindings: Vec<&str> = Vec::new();
-    for &(table, alias) in TABLES.iter().take(n_tables) {
-        if rng.random_bool(0.7) {
-            from.push(TableRef::aliased(table, alias));
-            bindings.push(alias);
-        } else {
-            from.push(TableRef::new(table));
-            bindings.push(table);
-        }
-    }
-
-    let mut joins = Vec::new();
-    if n_tables == 2 && rng.random_bool(0.7) {
-        joins.push(JoinCond::new(
-            ColRef::new(bindings[0], "id"),
-            ColRef::new(bindings[1], "id"),
-        ));
-    }
-
-    let n_conj = rng.random_range(0..4usize);
-    let predicate = Expr::conjunction((0..n_conj).map(|_| conjunct(rng, &bindings)).collect());
-
-    let aggregate = rng.random_bool(0.3);
-    let (select, distinct, group_by, order_by) = if aggregate {
-        let n_group = rng.random_range(0..3usize);
-        let group_by: Vec<ColRef> = (0..n_group).map(|_| col(rng, &bindings)).collect();
-        let mut select: Vec<SelectItem> =
-            group_by.iter().cloned().map(SelectItem::Column).collect();
-        for _ in 0..rng.random_range(1..3usize) {
-            let func = pick(
-                rng,
-                &[
-                    AggFunc::Count,
-                    AggFunc::Sum,
-                    AggFunc::Avg,
-                    AggFunc::Min,
-                    AggFunc::Max,
-                ],
-            );
-            let arg = (func != AggFunc::Count || rng.random_bool(0.5)).then(|| col(rng, &bindings));
-            select.push(SelectItem::Aggregate(AggExpr { func, arg }));
-        }
-        let mut order_by = Vec::new();
-        for c in &group_by {
-            if rng.random_bool(0.3) {
-                order_by.push(OrderKey {
-                    column: c.clone(),
-                    desc: rng.random_bool(0.5),
-                });
-            }
-        }
-        (select, false, group_by, order_by)
-    } else {
-        let select = if rng.random_bool(0.25) {
-            vec![SelectItem::Star]
-        } else {
-            (0..rng.random_range(1..4usize))
-                .map(|_| SelectItem::Column(col(rng, &bindings)))
-                .collect()
-        };
-        let order_by = (0..rng.random_range(0..3usize))
-            .map(|_| OrderKey {
-                column: col(rng, &bindings),
-                desc: rng.random_bool(0.5),
-            })
-            .collect();
-        (select, rng.random_bool(0.2), Vec::new(), order_by)
-    };
-
-    Query {
-        select,
-        distinct,
-        from,
-        joins,
-        predicate,
-        group_by,
-        order_by,
-        limit: rng.random_bool(0.3).then(|| rng.random_range(1..100usize)),
-    }
-}
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

@@ -266,6 +266,7 @@ fn check_one(db: &Database, q: &Query) {
         ExecOptions {
             mode: ExecMode::Vectorized,
             shards: 4,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
@@ -275,6 +276,7 @@ fn check_one(db: &Database, q: &Query) {
         ExecOptions {
             mode: ExecMode::Vectorized,
             shards: 1,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
