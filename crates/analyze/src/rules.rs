@@ -59,6 +59,11 @@ const NONDET: Scope = Scope {
         "asqp_db::plan",
         "asqp_db::optimizer",
         "asqp_db::plan_cache",
+        // Multi-tenant placement and the multi-tenant simulator must be
+        // pure functions of the seed: a clock or ambient-randomness read
+        // would break the byte-identical double-run gate.
+        "asqp_serve::tenant",
+        "asqp_serve::mt_sim",
     ],
     // Telemetry is timing-by-design; the fault planner is seeded and pure.
     exempt: &["asqp_telemetry", "asqp_serve::fault"],
@@ -82,6 +87,12 @@ const ITER_ORDER: Scope = Scope {
         "asqp_db::stats",
         "asqp_telemetry",
         "asqp_bench",
+        // Multi-tenant accounting renders transcripts that CI diffs
+        // byte-for-byte; map iteration feeding them must be ordered.
+        "asqp_serve::tenant",
+        "asqp_serve::batch",
+        "asqp_serve::multitenant",
+        "asqp_serve::mt_sim",
     ],
     exempt: &[],
 };

@@ -24,7 +24,10 @@ use asqp_db::{
     execute_with_options, plan_query, Database, ExecMode, ExecOptions, OptimizerMode, Query,
 };
 use asqp_rl::{AgentKind, Environment, ToyCoverageEnv, Trainer, TrainerConfig};
-use asqp_serve::{run_sim, FaultPlan, MirrorBackend, RetryPolicy, ServeConfig, Server, SimConfig};
+use asqp_serve::{
+    run_mt_sim, run_sim, FaultPlan, MirrorBackend, MtSimConfig, RetryPolicy, ServeConfig, Server,
+    SimConfig,
+};
 use asqp_telemetry::MemoryRecorder;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -343,6 +346,17 @@ fn serve_benches(reduced: bool, samples: usize, out: &mut Vec<BenchResult>) {
     };
     out.push(measure("serve/sim_chaos", warmup, samples, || {
         run_sim(&sim_cfg).log.len()
+    }));
+
+    // Multi-tenant replay: trace generation + kmeans clustering + the
+    // sharded event loop with COW forking and shared-scan batching, all
+    // on the virtual clock — deterministic, hence gateable. The reported
+    // median is the wall cost of simulating the whole population.
+    let mt_cfg = MtSimConfig::standard(7, if reduced { 5_000 } else { 20_000 });
+    out.push(measure("serve/multitenant", warmup, samples, || {
+        let r = run_mt_sim(&mt_cfg);
+        assert!(r.lossless(), "multi-tenant sim lost requests");
+        r.stats.resolved() as usize
     }));
 }
 

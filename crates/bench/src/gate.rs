@@ -19,6 +19,9 @@ use asqp_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 /// Bench names gated by [`compare`]; everything else is informational.
+/// `serve/multitenant` is already covered by the `serve` prefix but is
+/// listed explicitly: it is the acceptance-gated multi-tenant replay and
+/// must stay gated even if the broad `serve` prefix is ever narrowed.
 pub const GATED_PREFIXES: &[&str] = &[
     "scan",
     "join",
@@ -28,6 +31,7 @@ pub const GATED_PREFIXES: &[&str] = &[
     "nn_matmul",
     "ppo_update",
     "serve",
+    "serve/multitenant",
 ];
 
 /// Current report schema; bump when fields change incompatibly.

@@ -1,0 +1,230 @@
+//! Copy-on-write sharing of approximation sets between tenants.
+//!
+//! The paper's serving story is one analyst per approximation set, but
+//! tenants whose workload embeddings cluster together explore the same
+//! interest region — their learned sets are interchangeable until one of
+//! them drifts. [`CowSession`] makes that sharing explicit: every tenant
+//! in a cluster holds a `CowSession` over one shared base [`Session`]
+//! (one materialised approximation set, one estimator, one model in
+//! memory no matter how many tenants), and routing/answering delegates to
+//! the base until the tenant's *own* consecutive-miss drift streak
+//! trips. The first drift-triggered fine-tune then **forks**: the tenant
+//! gets a private `Session` rebuilt around its drift queries, while the
+//! base — and every other tenant still reading it — is left byte-for-byte
+//! untouched. There is no write path to the shared state at all, so the
+//! safety argument is structural, not lock-ordering.
+//!
+//! Fork identity is exposed through [`CowSession::share_epoch`]: `0`
+//! means "still on the shared set" (two tenants of the same base with
+//! epoch 0 answer subset queries identically, which is what lets the
+//! serving layer batch their scans), and a forked tenant carries a
+//! process-unique non-zero epoch so it never coalesces with anyone.
+
+use crate::model::fine_tune;
+use crate::session::{RoutePlan, Session, SessionConfig};
+use asqp_db::{DbResult, Query, ResultSet};
+use asqp_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Process-wide fork-epoch allocator: forked sessions need *unique*
+/// epochs (so two forked tenants never batch together), not reproducible
+/// ones — the epoch value never reaches scores or transcripts.
+static NEXT_FORK_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Point-in-time per-tenant statistics (see [`CowSession::stats`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CowStats {
+    pub queries: usize,
+    pub subset_answers: usize,
+    pub full_db_answers: usize,
+    /// `true` once this tenant has forked off the shared set.
+    pub forked: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicUsize,
+    subset_answers: AtomicUsize,
+    full_db_answers: AtomicUsize,
+}
+
+/// One tenant's copy-on-write view over a shared approximation set.
+///
+/// Cheap to create (two `Arc` clones); the expensive work — materialising
+/// a private set — happens only on the first drift-triggered fine-tune.
+pub struct CowSession {
+    base: Arc<Session>,
+    config: SessionConfig,
+    /// The private fork, present only after the first fine-tune.
+    fork: RwLock<Option<Arc<Session>>>,
+    /// `0` while shared; a process-unique value once forked.
+    fork_epoch: AtomicU64,
+    /// This tenant's consecutive confidently-deviating queries.
+    drift: Mutex<Vec<Query>>,
+    counters: Counters,
+}
+
+impl CowSession {
+    /// Attach a tenant to a shared base session. `config` governs this
+    /// tenant's own routing thresholds and drift policy (it may differ
+    /// from the base's) and becomes the config of the private fork.
+    pub fn new(base: Arc<Session>, config: SessionConfig) -> CowSession {
+        CowSession {
+            base,
+            config,
+            fork: RwLock::new(None),
+            fork_epoch: AtomicU64::new(0),
+            drift: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The shared base this tenant started from.
+    pub fn base(&self) -> &Arc<Session> {
+        &self.base
+    }
+
+    /// The session this tenant currently routes against: the private fork
+    /// once one exists, the shared base before that.
+    pub fn active(&self) -> Arc<Session> {
+        let guard = self.fork.read().unwrap_or_else(|p| p.into_inner());
+        match guard.as_ref() {
+            Some(fork) => Arc::clone(fork),
+            None => Arc::clone(&self.base),
+        }
+    }
+
+    /// True once this tenant has a private approximation set.
+    pub fn is_forked(&self) -> bool {
+        self.fork_epoch.load(Ordering::Acquire) != 0
+    }
+
+    /// Scan-sharing identity: `0` while on the shared set (tenants of the
+    /// same base with epoch 0 answer subset queries identically), unique
+    /// and non-zero after forking.
+    pub fn share_epoch(&self) -> u64 {
+        self.fork_epoch.load(Ordering::Acquire)
+    }
+
+    /// Deviating queries accumulated towards this tenant's fork trigger.
+    pub fn pending_drift(&self) -> usize {
+        self.drift.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Snapshot of this tenant's statistics.
+    pub fn stats(&self) -> CowStats {
+        CowStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            subset_answers: self.counters.subset_answers.load(Ordering::Relaxed),
+            full_db_answers: self.counters.full_db_answers.load(Ordering::Relaxed),
+            forked: self.is_forked(),
+        }
+    }
+
+    /// Route `q` against the active session, applying this tenant's own
+    /// answerability threshold.
+    pub fn plan(&self, q: &Query) -> RoutePlan {
+        let prediction = self.active().state().estimator.predict(q);
+        RoutePlan {
+            prediction,
+            answerable: prediction.score >= self.config.answer_threshold,
+        }
+    }
+
+    /// Answer from the active approximation set.
+    pub fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        self.active().answer_subset(q)
+    }
+
+    /// Answer from the full database (shared by base and fork).
+    pub fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        self.active().answer_full(q)
+    }
+
+    /// Record the outcome of one routed query, with the same
+    /// consecutive-miss semantics as [`Session::finish`] — except that the
+    /// drift streak is *per tenant* and the fine-tune it triggers forks a
+    /// private session instead of mutating the shared one. Returns `true`
+    /// when this call forked (or, post-fork, fine-tuned the fork).
+    pub fn finish(&self, q: &Query, plan: &RoutePlan) -> DbResult<bool> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+
+        if plan.answerable {
+            self.counters.subset_answers.fetch_add(1, Ordering::Relaxed);
+            if plan.prediction.confidence >= self.config.drift_confidence {
+                let mut drift = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+                if !drift.is_empty() {
+                    telemetry::counter("session.cow.drift.reset", 1);
+                    drift.clear();
+                }
+            }
+            return Ok(false);
+        }
+
+        self.counters
+            .full_db_answers
+            .fetch_add(1, Ordering::Relaxed);
+
+        let deviation_certainty = 1.0 - plan.prediction.score;
+        let mut should_fine_tune = false;
+        if deviation_certainty >= self.config.drift_confidence {
+            let mut drift = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+            drift.push(q.clone());
+            telemetry::counter("session.cow.drift.detected", 1);
+            should_fine_tune =
+                self.config.auto_fine_tune && drift.len() >= self.config.drift_trigger;
+        }
+        if should_fine_tune {
+            self.fork_fine_tune()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Force a fine-tune on the accumulated drift queries. On the first
+    /// call this **forks**: the shared base is read (model clone) but
+    /// never written, and the tenant's routing switches to a private
+    /// session built around the drift queries. Later calls fine-tune the
+    /// private fork in place (it is exclusively ours).
+    pub fn fork_fine_tune(&self) -> DbResult<()> {
+        // Taking the queries up front serialises concurrent callers: the
+        // loser sees an empty drift set and returns immediately.
+        let drift = {
+            let mut guard = self.drift.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        if drift.is_empty() {
+            return Ok(());
+        }
+        let active = self.active();
+        let old_model = active.state().model.clone();
+        let full_db = Arc::clone(active.full_db());
+        let boost = 1.0 / old_model.train_workload.len().max(1) as f64;
+        let new_model = fine_tune(&full_db, &old_model, &drift, boost)?;
+        let forked = Session::new(full_db, new_model, self.config.clone())?;
+        *self.fork.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(forked));
+        if self.fork_epoch.load(Ordering::Acquire) == 0 {
+            let epoch = NEXT_FORK_EPOCH.fetch_add(1, Ordering::Relaxed);
+            self.fork_epoch.store(epoch, Ordering::Release);
+            telemetry::counter("session.cow.fork", 1);
+        } else {
+            telemetry::counter("session.cow.refine", 1);
+        }
+        Ok(())
+    }
+
+    /// Answer a query end to end (plan → route → finish), the synchronous
+    /// single-tenant path mirroring [`Session::query`].
+    pub fn query(&self, q: &Query) -> DbResult<(ResultSet, bool)> {
+        let plan = self.plan(q);
+        let rs = if plan.answerable {
+            self.answer_subset(q)?
+        } else {
+            self.answer_full(q)?
+        };
+        self.finish(q, &plan)?;
+        Ok((rs, plan.answerable))
+    }
+}

@@ -13,6 +13,8 @@
 //!   full / ASQP-Light / adaptive configurations (§4.5)
 //! * [`estimator`] — the answerability estimator (§4.4)
 //! * [`session`] — query routing, drift detection and fine-tuning (§4.4)
+//! * [`cow`] — copy-on-write approximation-set sharing between clustered
+//!   tenants, with private forking on drift-triggered fine-tune
 //! * [`aggregates`] — scale-corrected approximate aggregates + relative
 //!   error (§6.4)
 //! * [`workload_synth`] — the unknown-workload mode (§4.5)
@@ -36,6 +38,7 @@
 
 pub mod aggregates;
 pub mod anaqp;
+pub mod cow;
 pub mod diversity;
 pub mod envs;
 pub mod estimator;
@@ -49,6 +52,7 @@ pub use aggregates::{
     approximate_aggregate, operator_class, relative_error, result_relative_error,
 };
 pub use anaqp::{AnaqpInstance, MaxKVertexCover, Selection};
+pub use cow::{CowSession, CowStats};
 pub use diversity::{result_diversity, workload_diversity};
 pub use envs::{AsqpEnv, CoverageTracker, EnvConfig, EnvKind};
 pub use estimator::{AnswerabilityEstimator, Prediction};

@@ -1,0 +1,144 @@
+//! COW-sharing safety: tenants clustered onto one shared approximation
+//! set stay interchangeable until one of them drifts, and a fork leaves
+//! every other tenant's view byte-identical.
+
+use asqp_core::{train, AsqpConfig, CowSession, RoutePlan, Session};
+use asqp_core::{Prediction, SessionConfig};
+use asqp_data::{imdb, Scale};
+use asqp_db::sql;
+use std::sync::Arc;
+
+fn quick_config() -> AsqpConfig {
+    let mut cfg = AsqpConfig::full(60, 20);
+    cfg.preprocess.n_representatives = 6;
+    cfg.preprocess.max_actions = 64;
+    cfg.preprocess.per_query_cap = 40;
+    cfg.trainer.num_workers = 2;
+    cfg.trainer.steps_per_worker = 64;
+    cfg.trainer.hidden = vec![32];
+    cfg.iterations = 6;
+    cfg
+}
+
+/// Queries far from the trained workload (the fork's drift fuel).
+fn alien_queries() -> Vec<asqp_db::Query> {
+    [
+        "SELECT p.name FROM person p WHERE p.gender = 'f' AND p.name LIKE 'q%'",
+        "SELECT p.name FROM person p WHERE p.gender = 'm' AND p.name LIKE 'w%'",
+        "SELECT p.name FROM person p WHERE p.name LIKE 'e%'",
+    ]
+    .iter()
+    .map(|t| sql::parse(t).unwrap())
+    .collect()
+}
+
+/// A routing plan representing a confidently-deviating full-DB answer —
+/// the exact condition `CowSession::finish` turns into drift.
+fn deviating_plan() -> RoutePlan {
+    RoutePlan {
+        prediction: Prediction {
+            score: 0.0,
+            confidence: 0.0,
+        },
+        answerable: false,
+    }
+}
+
+/// Byte-level fingerprint of one tenant's view: every probe query's
+/// prediction (exact f64 bits) plus its subset answer's debug rendering.
+fn view_fingerprint(tenant: &CowSession, probes: &[asqp_db::Query]) -> Vec<(u64, u64, String)> {
+    probes
+        .iter()
+        .map(|q| {
+            let plan = tenant.plan(q);
+            let answer = tenant
+                .answer_subset(q)
+                .map(|rs| format!("{rs:?}"))
+                .unwrap_or_else(|e| format!("err:{e}"));
+            (
+                plan.prediction.score.to_bits(),
+                plan.prediction.confidence.to_bits(),
+                answer,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fork_leaves_the_other_tenant_byte_identical() {
+    let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+    let workload = imdb::workload(12, 1);
+    let model = train(&db, &workload, &quick_config()).unwrap();
+    let base = Arc::new(Session::new(Arc::clone(&db), model, SessionConfig::default()).unwrap());
+
+    // Two clustered tenants attach to the same shared set: one session in
+    // memory, two views.
+    let tenant_a = CowSession::new(Arc::clone(&base), SessionConfig::default());
+    let tenant_b = CowSession::new(Arc::clone(&base), SessionConfig::default());
+    assert!(Arc::ptr_eq(&tenant_a.active(), &base));
+    assert!(Arc::ptr_eq(&tenant_b.active(), &base));
+    assert_eq!(tenant_a.share_epoch(), 0);
+    assert_eq!(tenant_b.share_epoch(), 0);
+
+    let probes = workload.queries;
+    let b_before = view_fingerprint(&tenant_b, &probes);
+    let base_stats_before = base.stats();
+
+    // Tenant A drifts: three consecutive confidently-deviating misses
+    // trip its private trigger and fork a private session.
+    let mut forked = false;
+    for q in alien_queries() {
+        forked = tenant_a.finish(&q, &deviating_plan()).unwrap();
+    }
+    assert!(forked, "third consecutive confident miss must fork");
+    assert!(tenant_a.is_forked());
+    assert_ne!(tenant_a.share_epoch(), 0);
+    assert!(
+        !Arc::ptr_eq(&tenant_a.active(), &base),
+        "the fork must be a private session"
+    );
+
+    // Tenant B is untouched: same shared session, epoch still 0, and its
+    // scores and subset answers are byte-identical to before the fork.
+    assert!(!tenant_b.is_forked());
+    assert_eq!(tenant_b.share_epoch(), 0);
+    assert!(Arc::ptr_eq(&tenant_b.active(), &base));
+    let b_after = view_fingerprint(&tenant_b, &probes);
+    assert_eq!(
+        b_before, b_after,
+        "fork of tenant A must not perturb tenant B's view by a single bit"
+    );
+
+    // The shared base was never fine-tuned — COW read the model, it did
+    // not write it.
+    assert_eq!(base.stats().fine_tunes, base_stats_before.fine_tunes);
+
+    // The forked tenant routes the drift queries more confidently than
+    // the shared set did (that is the point of forking): its estimator
+    // was refit around them.
+    let a_stats = tenant_a.stats();
+    assert!(a_stats.forked);
+    assert_eq!(tenant_a.pending_drift(), 0, "fork consumes the drift set");
+}
+
+#[test]
+fn epoch_zero_views_of_one_base_are_interchangeable() {
+    let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+    let workload = imdb::workload(8, 3);
+    let model = train(&db, &workload, &quick_config()).unwrap();
+    let base = Arc::new(Session::new(Arc::clone(&db), model, SessionConfig::default()).unwrap());
+
+    let tenants: Vec<CowSession> = (0..3)
+        .map(|_| CowSession::new(Arc::clone(&base), SessionConfig::default()))
+        .collect();
+    let fingerprints: Vec<_> = tenants
+        .iter()
+        .map(|t| view_fingerprint(t, &workload.queries))
+        .collect();
+    for fp in &fingerprints {
+        assert_eq!(
+            fp, &fingerprints[0],
+            "same base + epoch 0 must answer identically — the scan-batching contract"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! the concurrency machinery without paying for RL training.
 
 use crate::fault::fnv1a;
-use asqp_core::{RoutePlan, Session};
+use asqp_core::{CowSession, RoutePlan, Session};
 use asqp_db::{Database, DbResult, Query, ResultSet};
 use std::sync::Arc;
 
@@ -46,6 +46,15 @@ pub trait SessionBackend: Send + Sync + 'static {
         let _ = (q, decision);
         Ok(())
     }
+    /// Scan-sharing identity for the multi-tenant batcher: backends whose
+    /// subset answers are interchangeable report the same epoch. `0`
+    /// (the default) means "private backend, never coalesce across
+    /// tenants" for plain backends — but the COW layer overloads it as
+    /// "shared base set", so only [`CowSession`]-backed tenants of the
+    /// same group actually batch (see `MtServer`).
+    fn share_epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl SessionBackend for Session {
@@ -70,6 +79,36 @@ impl SessionBackend for Session {
             Session::finish(self, q, plan)?;
         }
         Ok(())
+    }
+}
+
+impl SessionBackend for CowSession {
+    fn plan(&self, q: &Query) -> RouteDecision {
+        let plan = CowSession::plan(self, q);
+        RouteDecision {
+            answerable: plan.answerable,
+            plan: Some(plan),
+        }
+    }
+
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        CowSession::answer_subset(self, q)
+    }
+
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        CowSession::answer_full(self, q)
+    }
+
+    fn finish(&self, q: &Query, decision: &RouteDecision) -> DbResult<()> {
+        if let Some(plan) = &decision.plan {
+            CowSession::finish(self, q, plan)?;
+        }
+        Ok(())
+    }
+
+    /// Forked tenants stop coalescing with their old cluster.
+    fn share_epoch(&self) -> u64 {
+        CowSession::share_epoch(self)
     }
 }
 

@@ -1,0 +1,60 @@
+//! Deterministic multi-tenant run: replay the reference multi-tenant
+//! scenario for a seed and print the canonical transcript (per-tenant
+//! accounting lines, event-stream digest, summary footer).
+//!
+//! Two invocations with the same seed and tenant count print
+//! byte-identical output — the CI `multitenant` job runs this twice per
+//! seed at ≥ 10⁵ tenants and diffs the transcripts, then checks the
+//! `lossless=` line. Usage:
+//!
+//! ```text
+//! mt_run [--seed N] [--tenants N] [--shards N] [--workers-per-shard N]
+//!        [--queue-depth N] [--summary-only]
+//! ```
+//!
+//! `--summary-only` suppresses the per-tenant lines (the digest + summary
+//! still certify the full event stream) for quick local inspection.
+
+use asqp_serve::{run_mt_sim, MtSimConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: mt_run [--seed N] [--tenants N] [--shards N] \
+             [--workers-per-shard N] [--queue-depth N] [--summary-only]"
+        );
+        return;
+    }
+    let seed = parse_flag(&args, "--seed").unwrap_or(0xA5_2024);
+    let tenants = parse_flag(&args, "--tenants").unwrap_or(100_000);
+    let mut cfg = MtSimConfig::standard(seed, tenants);
+    if let Some(n) = parse_flag(&args, "--shards") {
+        cfg.shards = n.max(1) as usize;
+    }
+    if let Some(n) = parse_flag(&args, "--workers-per-shard") {
+        cfg.workers_per_shard = n.max(1) as usize;
+    }
+    if let Some(n) = parse_flag(&args, "--queue-depth") {
+        cfg.queue_depth = n.max(1) as usize;
+    }
+
+    let report = run_mt_sim(&cfg);
+    let full = report.render();
+    if args.iter().any(|a| a == "--summary-only") {
+        for line in full.lines().filter(|l| !l.starts_with("tenant=")) {
+            println!("{line}");
+        }
+    } else {
+        print!("{full}");
+    }
+    println!("lossless={}", u8::from(report.lossless()));
+    println!("throughput_per_vsec={:.0}", report.throughput_per_sec());
+}

@@ -62,6 +62,12 @@ pub enum ServeError {
     },
     /// The server is draining and admits no new requests.
     ShuttingDown,
+    /// Multi-tenant submission for a tenant that was never registered
+    /// (or already departed).
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: u64,
+    },
     /// A fatal database error (bad query, unknown table). Never retried:
     /// see [`DbError::class`](asqp_db::DbError::class).
     Fatal(DbError),
@@ -74,6 +80,9 @@ impl fmt::Display for ServeError {
                 write!(f, "overloaded: admission queue at depth {depth}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant}: register before submitting")
+            }
             ServeError::Fatal(e) => write!(f, "fatal: {e}"),
         }
     }

@@ -17,25 +17,44 @@
 //! - [`run_sim`] — a discrete-event simulator replaying the same
 //!   serving semantics on a virtual clock, so chaos runs are
 //!   byte-for-byte reproducible and diffable across runs and machines.
+//! - [`MtServer`] — sharded multi-tenant serving: tenants striped across
+//!   independent shard pools ([`TenantRegistry`]), copy-on-write
+//!   approximation-set sharing per workload cluster
+//!   (`asqp_core::CowSession`), single-flight shared-scan batching
+//!   ([`ScanBatcher`]) keyed by the normalized plan shape, and exact
+//!   per-tenant accounting.
+//! - [`run_mt_sim`] — the multi-tenant simulator replaying a generated
+//!   trace of up to ~10⁶ tenants under the same seeded fault plan, with
+//!   a digest-based transcript the CI `multitenant` job diffs.
 //!
 //! Telemetry: the server emits `serve.*` counters (admitted, rejected,
 //! degraded, retries, resolved.{subset,full}, fatal) and a
-//! `serve.queue.depth` gauge through `asqp-telemetry`.
+//! `serve.queue.depth` gauge through `asqp-telemetry`; the multi-tenant
+//! layer adds `serve.mt.*` (per-outcome, shared scans, tenants) and
+//! `serve.mtsim.*` aggregates.
 
 pub mod backend;
 pub mod backoff;
+pub mod batch;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod mt_sim;
+pub mod multitenant;
 pub mod queue;
 pub mod server;
 pub mod sim;
+pub mod tenant;
 
 pub use backend::{MirrorBackend, RouteDecision, SessionBackend};
 pub use backoff::RetryPolicy;
+pub use batch::{ScanBatcher, ScanKey, ScanRole};
 pub use error::{Answer, ServeError, ServeResult, ServedSource};
 pub use event::{Event, EventKind, EventLog};
 pub use fault::{FaultDecision, FaultPlan};
+pub use mt_sim::{run_mt_sim, MtSimConfig, MtSimReport};
+pub use multitenant::{MtConfig, MtServer};
 pub use queue::AdmissionQueue;
 pub use server::{ServeConfig, Server, ServerStats, Ticket};
 pub use sim::{run_sim, SimConfig, SimReport};
+pub use tenant::{StripedAllocator, TenantCounters, TenantId, TenantRegistry, TenantStats};

@@ -1,0 +1,819 @@
+//! Deterministic multi-tenant discrete-event simulator.
+//!
+//! Scales the single-session chaos simulator ([`run_sim`](crate::run_sim))
+//! to the ROADMAP's "millions of users" claim: a generated trace of up to
+//! ~10⁶ simulated tenants — every arrival time, request count, plan shape
+//! and fault a pure hash of the seed — replayed through the full
+//! multi-tenant serving semantics on a virtual clock:
+//!
+//! - tenants register on first arrival and are dealt across shard pools
+//!   by the striped [`StripedAllocator`] policy;
+//! - tenant workload embeddings (hash-generated around interest
+//!   archetypes) are clustered with `asqp_embed::kmeans`, and every
+//!   tenant in a cluster reads that cluster's shared approximation set
+//!   (share epoch 0) until its own drift streak trips and it forks to a
+//!   private set (a unique non-zero epoch) — the virtual-time mirror of
+//!   `asqp_core::cow`;
+//! - concurrent subset scans with equal (group, epoch, shape) coalesce,
+//!   crediting followers with `shared_scan_hits` exactly like the
+//!   threaded [`ScanBatcher`](crate::ScanBatcher);
+//! - admission rejections, retries, degradations and resolutions are
+//!   attributed to the owning tenant, and the per-tenant accounting
+//!   lines plus an event-stream digest form the transcript the CI
+//!   `multitenant` job diffs byte-for-byte across double runs.
+//!
+//! At 10⁵–10⁶ users a full event log would dominate memory, so instead
+//! of storing events the simulator folds every one of them (with its
+//! virtual timestamp) into a single [splitmix64](crate::fault) digest —
+//! byte-identical transcripts therefore still certify identical event
+//! streams, not just identical totals.
+
+use crate::backoff::RetryPolicy;
+use crate::fault::{splitmix64, FaultPlan};
+use crate::server::ServerStats;
+use crate::tenant::{StripedAllocator, TenantId, TenantStats};
+use asqp_embed::{kmeans, sq_dist};
+use asqp_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+/// Configuration of one simulated multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct MtSimConfig {
+    /// Simulated tenants (users). The acceptance gate runs ≥ 10⁵.
+    pub tenants: u64,
+    /// Shard pools tenants are striped across.
+    pub shards: usize,
+    /// Workers per shard.
+    pub workers_per_shard: usize,
+    /// Admission-queue depth per shard.
+    pub queue_depth: usize,
+    /// Per-request deadline from admission; `0` = none.
+    pub deadline_ns: u64,
+    pub retry: RetryPolicy,
+    pub faults: FaultPlan,
+    /// Interest archetypes = kmeans clusters = COW groups.
+    pub groups: usize,
+    /// Workload-embedding dimensionality.
+    pub embed_dim: usize,
+    /// Tenants sampled for the kmeans fit (all tenants are then assigned
+    /// to the nearest centroid).
+    pub cluster_sample: usize,
+    /// Requests per tenant: `1 + hash % extra_requests`.
+    pub extra_requests: u64,
+    /// Distinct normalized plan shapes per group's workload.
+    pub shapes_per_group: u64,
+    /// Pre-fork percentage (0–100) of (group, shape) pairs the shared
+    /// set can answer.
+    pub subset_pct: u8,
+    /// Post-fork answerable percentage — forking exists to fix drift, so
+    /// this is typically higher.
+    pub forked_subset_pct: u8,
+    /// Consecutive confidently-deviating misses before a tenant forks.
+    pub drift_trigger: u32,
+    /// Percentage of full-routed requests that count as confident
+    /// deviations.
+    pub drift_pct: u8,
+    /// Percentage of tenants that depart after their last request.
+    pub depart_pct: u8,
+    /// Mean virtual gap between consecutive arrivals across all tenants.
+    pub inter_arrival_ns: u64,
+    pub subset_service_ns: u64,
+    pub full_service_ns: u64,
+}
+
+impl MtSimConfig {
+    /// The reference multi-tenant scenario: arrival pressure roughly at
+    /// pool capacity so queueing, rejections, degradations, shared scans
+    /// and forks all occur, at any tenant count.
+    pub fn standard(seed: u64, tenants: u64) -> MtSimConfig {
+        MtSimConfig {
+            tenants: tenants.max(1),
+            shards: 8,
+            workers_per_shard: 4,
+            queue_depth: 24,
+            deadline_ns: 300_000,
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_ns: 50_000,
+                cap_ns: 400_000,
+            },
+            faults: FaultPlan::chaos(seed),
+            groups: 16,
+            embed_dim: 8,
+            cluster_sample: 1024,
+            extra_requests: 3,
+            shapes_per_group: 12,
+            subset_pct: 55,
+            forked_subset_pct: 85,
+            drift_trigger: 3,
+            drift_pct: 60,
+            depart_pct: 20,
+            inter_arrival_ns: 2_000,
+            subset_service_ns: 15_000,
+            full_service_ns: 60_000,
+        }
+    }
+}
+
+/// Aggregate + per-tenant outcome of a simulated multi-tenant run.
+#[derive(Debug)]
+pub struct MtSimReport {
+    pub seed: u64,
+    pub tenants: u64,
+    pub shards: usize,
+    pub groups: usize,
+    /// Global totals in the single-tenant [`ServerStats`] shape.
+    pub stats: ServerStats,
+    pub shared_scan_hits: u64,
+    pub forks: u64,
+    pub departed: u64,
+    /// splitmix64 fold of every event (with virtual timestamps).
+    pub digest: u64,
+    pub makespan_ns: u64,
+    /// Accounting per tenant, indexed by tenant id.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl MtSimReport {
+    /// True iff every tenant's admitted requests all resolved — the
+    /// zero-lost-requests invariant, held per tenant.
+    pub fn lossless(&self) -> bool {
+        self.per_tenant.iter().all(|t| t.lossless())
+    }
+
+    /// Resolved requests per virtual second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.stats.resolved() as f64 * 1e9 / self.makespan_ns as f64
+    }
+
+    /// Canonical transcript: header, one accounting line per tenant, the
+    /// event-stream digest, and a summary footer. This is the unit the
+    /// CI `multitenant` job diffs byte-for-byte across double runs.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::with_capacity(self.per_tenant.len() * 96 + 256);
+        out.push_str(&format!(
+            "mtsim seed={} tenants={} shards={} groups={}\n",
+            self.seed, self.tenants, self.shards, self.groups
+        ));
+        for (tenant, stats) in self.per_tenant.iter().enumerate() {
+            out.push_str(&stats.render(tenant as TenantId));
+        }
+        out.push_str(&format!("digest={:016x}\n", self.digest));
+        out.push_str(&format!(
+            "summary admitted={} rejected={} subset={} full={} degraded={} retries={} \
+             shared={} forks={} departed={} makespan_ns={}\n",
+            s.admitted,
+            s.rejected,
+            s.resolved_subset,
+            s.resolved_full,
+            s.degraded,
+            s.retries,
+            self.shared_scan_hits,
+            self.forks,
+            self.departed,
+            self.makespan_ns
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pure trace generation
+// ---------------------------------------------------------------------
+
+const SALT_ARCH: u64 = 0x61c8_8646_80b5_83eb;
+const SALT_REQS: u64 = 0x9e37_79b9_7f4a_7c15;
+const SALT_TIME: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const SALT_SHAPE: u64 = 0x2545_f491_4f6c_dd1d;
+const SALT_DRIFT: u64 = 0xff51_afd7_ed55_8ccd;
+const SALT_FORKROUTE: u64 = 0xd6e8_feb8_6659_fd93;
+const SALT_DEPART: u64 = 0x8ebc_6af0_9c88_c6e3;
+
+fn h2(seed: u64, a: u64, salt: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a ^ salt))
+}
+
+fn h3(seed: u64, a: u64, b: u64, salt: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ salt)))
+}
+
+fn pct(h: u64, p: u8) -> bool {
+    h % 100 < p as u64
+}
+
+/// Map a hash to `[-1, 1)`.
+fn signed_unit(h: u64) -> f32 {
+    (h >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0
+}
+
+/// A tenant's workload embedding: its interest archetype's centroid plus
+/// tenant-specific noise — hash-generated, so the whole population needs
+/// no storage until clustering.
+fn tenant_embedding(cfg: &MtSimConfig, seed: u64, tenant: u64) -> Vec<f32> {
+    let arch = h2(seed, tenant, SALT_ARCH) % cfg.groups.max(1) as u64;
+    (0..cfg.embed_dim)
+        .map(|d| {
+            let center = signed_unit(h3(seed, arch, d as u64, SALT_ARCH));
+            let noise = signed_unit(h3(seed, tenant, d as u64, SALT_TIME)) * 0.1;
+            center + noise
+        })
+        .collect()
+}
+
+/// Fit kmeans on a strided sample of the population and return the
+/// centroids; every tenant is then assigned to its nearest centroid at
+/// registration. Deterministic: seeded rng, fixed iteration order.
+fn fit_centroids(cfg: &MtSimConfig, seed: u64) -> Vec<Vec<f32>> {
+    let sample_n = cfg.cluster_sample.max(cfg.groups).min(cfg.tenants as usize);
+    let step = (cfg.tenants / sample_n.max(1) as u64).max(1);
+    let sample: Vec<Vec<f32>> = (0..sample_n as u64)
+        .map(|i| tenant_embedding(cfg, seed, (i * step) % cfg.tenants.max(1)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    kmeans(&sample, cfg.groups.max(1), 8, &mut rng).centroids
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], point: &[f32]) -> u64 {
+    let mut best = 0u64;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(c, point);
+        if d < best_d {
+            best_d = d;
+            best = i as u64;
+        }
+    }
+    best
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum MtEvent {
+    Arrival { tenant: u64, rid: u64, shape: u64 },
+    WorkerFree { shard: usize, worker: usize },
+}
+
+struct Pending {
+    tenant: u64,
+    rid: u64,
+    shape: u64,
+    admitted_ns: u64,
+}
+
+struct ShardState {
+    queue: VecDeque<Pending>,
+    idle: BTreeSet<usize>,
+}
+
+/// Flat per-tenant account (the simulator-side `TenantCounters`).
+#[derive(Default, Clone)]
+struct Acct {
+    shard: u32,
+    group: u32,
+    registered: bool,
+    admitted: u32,
+    rejected: u32,
+    subset: u32,
+    full: u32,
+    degraded: u32,
+    retries: u32,
+    shared: u32,
+    forked: bool,
+    departed: bool,
+    remaining: u32,
+    streak: u32,
+}
+
+struct SimState {
+    accts: Vec<Acct>,
+    alloc: StripedAllocator,
+    /// In-flight subset scans: (group, epoch, shape) → finish time.
+    inflight: BTreeMap<(u64, u64, u64), u64>,
+    digest: u64,
+    forks: u64,
+    departed: u64,
+    shared_hits: u64,
+    retries_total: u64,
+    makespan: u64,
+}
+
+impl SimState {
+    fn fold(&mut self, code: u64, a: u64, b: u64, c: u64) {
+        self.digest =
+            splitmix64(self.digest ^ splitmix64(code ^ splitmix64(a ^ splitmix64(b ^ c))));
+    }
+
+    fn acct_mut(&mut self, tenant: u64) -> Option<&mut Acct> {
+        self.accts.get_mut(tenant as usize)
+    }
+}
+
+// Event codes folded into the digest.
+const EV_REGISTER: u64 = 1;
+const EV_ADMIT: u64 = 2;
+const EV_REJECT: u64 = 3;
+const EV_RESOLVE_SUBSET: u64 = 4;
+const EV_RESOLVE_FULL: u64 = 5;
+const EV_RESOLVE_DEGRADED: u64 = 6;
+const EV_RETRY: u64 = 7;
+const EV_SHARED_HIT: u64 = 8;
+const EV_FORK: u64 = 9;
+const EV_DEPART: u64 = 10;
+
+/// Run one simulated multi-tenant scenario. Pure: identical configs
+/// produce identical reports (and identical [`MtSimReport::render`]
+/// transcripts).
+pub fn run_mt_sim(cfg: &MtSimConfig) -> MtSimReport {
+    let seed = cfg.faults.seed;
+    let centroids = fit_centroids(cfg, seed);
+
+    // ---- Trace generation: every request of every tenant, pure hashes.
+    let mut trace: Vec<(u64, u64, u64)> = Vec::new(); // (arrival, tenant, k)
+    for t in 0..cfg.tenants {
+        let reqs = 1 + h2(seed, t, SALT_REQS) % cfg.extra_requests.max(1);
+        let horizon = cfg.tenants.max(1) * cfg.inter_arrival_ns;
+        let base = h2(seed, t, SALT_TIME) % horizon.max(1);
+        for k in 0..reqs {
+            let jitter = h3(seed, t, k, SALT_TIME) % cfg.inter_arrival_ns.max(1);
+            let arrival = base + k * 4 * cfg.inter_arrival_ns + jitter;
+            trace.push((arrival, t, k));
+        }
+    }
+    trace.sort_unstable();
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, MtEvent)>> = BinaryHeap::new();
+    let mut tie = 0u64;
+    let mut push_event =
+        |heap: &mut BinaryHeap<Reverse<(u64, u64, MtEvent)>>, t: u64, e: MtEvent| {
+            heap.push(Reverse((t, tie, e)));
+            tie += 1;
+        };
+
+    let mut requests_of: Vec<u32> = vec![0; cfg.tenants as usize];
+    for (rid, &(arrival, tenant, k)) in trace.iter().enumerate() {
+        let shape = h3(seed, tenant, k, SALT_SHAPE) % cfg.shapes_per_group.max(1);
+        if let Some(r) = requests_of.get_mut(tenant as usize) {
+            *r += 1;
+        }
+        push_event(
+            &mut heap,
+            arrival,
+            MtEvent::Arrival {
+                tenant,
+                rid: rid as u64,
+                shape,
+            },
+        );
+    }
+    let total_requests = trace.len() as u64;
+    drop(trace);
+
+    // ---- Shard pools: workers come online at t=0 except the fault
+    // plan's stalled worker (global index).
+    let mut shards: Vec<ShardState> = (0..cfg.shards.max(1))
+        .map(|_| ShardState {
+            queue: VecDeque::new(),
+            idle: BTreeSet::new(),
+        })
+        .collect();
+    for s in 0..cfg.shards.max(1) {
+        for w in 0..cfg.workers_per_shard.max(1) {
+            let global = s * cfg.workers_per_shard.max(1) + w;
+            match cfg.faults.worker_stall(global) {
+                Some(stall) => push_event(
+                    &mut heap,
+                    stall,
+                    MtEvent::WorkerFree {
+                        shard: s,
+                        worker: w,
+                    },
+                ),
+                None => {
+                    if let Some(shard) = shards.get_mut(s) {
+                        shard.idle.insert(w);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut st = SimState {
+        accts: vec![Acct::default(); cfg.tenants as usize],
+        alloc: StripedAllocator::new(cfg.shards.max(1)),
+        inflight: BTreeMap::new(),
+        digest: splitmix64(seed ^ SALT_ARCH),
+        forks: 0,
+        departed: 0,
+        shared_hits: 0,
+        retries_total: 0,
+        makespan: 0,
+    };
+    for (t, &n) in requests_of.iter().enumerate() {
+        if let Some(a) = st.accts.get_mut(t) {
+            a.remaining = n;
+        }
+    }
+    drop(requests_of);
+
+    // ---- The event loop.
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        match ev {
+            MtEvent::Arrival { tenant, rid, shape } => {
+                // First arrival registers the tenant: striped placement
+                // plus nearest-centroid COW group.
+                let registered = st.accts.get(tenant as usize).map(|a| a.registered);
+                if registered == Some(false) {
+                    let shard = st.alloc.register(tenant);
+                    let group = nearest_centroid(&centroids, &tenant_embedding(cfg, seed, tenant));
+                    if let Some(a) = st.acct_mut(tenant) {
+                        a.registered = true;
+                        a.shard = shard as u32;
+                        a.group = group as u32;
+                    }
+                    st.fold(EV_REGISTER, tenant, shard as u64, group);
+                }
+                let shard_idx = st
+                    .accts
+                    .get(tenant as usize)
+                    .map(|a| a.shard as usize)
+                    .unwrap_or(0);
+                let at_depth = shards
+                    .get(shard_idx)
+                    .map(|s| s.queue.len() >= cfg.queue_depth)
+                    .unwrap_or(true);
+                if at_depth {
+                    // Attributed to the rejecting tenant, not a global
+                    // counter.
+                    if let Some(a) = st.acct_mut(tenant) {
+                        a.rejected += 1;
+                    }
+                    st.fold(EV_REJECT, tenant, rid, now);
+                    request_done(cfg, seed, &mut st, tenant, now);
+                    continue;
+                }
+                if let Some(a) = st.acct_mut(tenant) {
+                    a.admitted += 1;
+                }
+                st.fold(EV_ADMIT, tenant, rid, now);
+                if let Some(shard) = shards.get_mut(shard_idx) {
+                    shard.queue.push_back(Pending {
+                        tenant,
+                        rid,
+                        shape,
+                        admitted_ns: now,
+                    });
+                    if let Some(&w) = shard.idle.iter().next() {
+                        if let Some(job) = shard.queue.pop_front() {
+                            shard.idle.remove(&w);
+                            let done = serve_one_mt(cfg, seed, &mut st, job, now);
+                            push_event(
+                                &mut heap,
+                                done,
+                                MtEvent::WorkerFree {
+                                    shard: shard_idx,
+                                    worker: w,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            MtEvent::WorkerFree { shard, worker } => {
+                let job = shards.get_mut(shard).and_then(|s| s.queue.pop_front());
+                match job {
+                    Some(job) => {
+                        let done = serve_one_mt(cfg, seed, &mut st, job, now);
+                        push_event(&mut heap, done, MtEvent::WorkerFree { shard, worker });
+                    }
+                    None => {
+                        if let Some(s) = shards.get_mut(shard) {
+                            s.idle.insert(worker);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Fold the accounts into the report.
+    let mut stats = ServerStats::default();
+    let per_tenant: Vec<TenantStats> = st
+        .accts
+        .iter()
+        .map(|a| {
+            stats.admitted += a.admitted as u64;
+            stats.rejected += a.rejected as u64;
+            stats.resolved_subset += a.subset as u64;
+            stats.resolved_full += a.full as u64;
+            stats.degraded += a.degraded as u64;
+            stats.retries += a.retries as u64;
+            TenantStats {
+                shard: a.shard as usize,
+                group: a.group as u64,
+                admitted: a.admitted as u64,
+                rejected: a.rejected as u64,
+                resolved_subset: a.subset as u64,
+                resolved_full: a.full as u64,
+                degraded: a.degraded as u64,
+                retries: a.retries as u64,
+                fatal: 0,
+                shared_scan_hits: a.shared as u64,
+                forked: a.forked,
+            }
+        })
+        .collect();
+
+    debug_assert_eq!(stats.admitted + stats.rejected, total_requests);
+    telemetry::counter("serve.mtsim.requests", total_requests);
+    telemetry::counter("serve.mtsim.admitted", stats.admitted);
+    telemetry::counter("serve.mtsim.rejected", stats.rejected);
+    telemetry::counter("serve.mtsim.shared", st.shared_hits);
+    telemetry::counter("serve.mtsim.forks", st.forks);
+
+    MtSimReport {
+        seed,
+        tenants: cfg.tenants,
+        shards: cfg.shards.max(1),
+        groups: cfg.groups.max(1),
+        stats,
+        shared_scan_hits: st.shared_hits,
+        forks: st.forks,
+        departed: st.departed,
+        digest: st.digest,
+        makespan_ns: st.makespan,
+        per_tenant,
+    }
+}
+
+/// Pre-fork routing is a property of the *shared set*: every epoch-0
+/// tenant of a group routes a given shape identically (that is what makes
+/// scan sharing sound). Post-fork routing is private to the tenant.
+fn shared_routes_to_subset(cfg: &MtSimConfig, seed: u64, group: u64, shape: u64) -> bool {
+    pct(h3(seed, group, shape, SALT_SHAPE), cfg.subset_pct)
+}
+
+fn sim_rows(seed: u64, rid: u64) -> u64 {
+    splitmix64(seed ^ rid.wrapping_mul(SALT_SHAPE)) % 50
+}
+
+/// Bookkeeping after a tenant's request leaves the system (resolved or
+/// rejected): when its last request is done, the tenant may depart,
+/// freeing its stripe for later arrivals.
+fn request_done(cfg: &MtSimConfig, seed: u64, st: &mut SimState, tenant: u64, now: u64) {
+    let last = match st.acct_mut(tenant) {
+        Some(a) => {
+            a.remaining = a.remaining.saturating_sub(1);
+            a.remaining == 0
+        }
+        None => false,
+    };
+    if last
+        && pct(h2(seed, tenant, SALT_DEPART), cfg.depart_pct)
+        && st.alloc.depart(tenant).is_some()
+    {
+        if let Some(a) = st.acct_mut(tenant) {
+            a.departed = true;
+        }
+        st.departed += 1;
+        st.fold(EV_DEPART, tenant, 0, now);
+    }
+}
+
+/// Walk one admitted request through the multi-tenant ladder on virtual
+/// time. Returns the worker-release time.
+fn serve_one_mt(
+    cfg: &MtSimConfig,
+    seed: u64,
+    st: &mut SimState,
+    job: Pending,
+    start_ns: u64,
+) -> u64 {
+    let Pending {
+        tenant,
+        rid,
+        shape,
+        admitted_ns,
+    } = job;
+    let mut now = start_ns;
+    let deadline = if cfg.deadline_ns == 0 {
+        u64::MAX
+    } else {
+        admitted_ns.saturating_add(cfg.deadline_ns)
+    };
+    let remaining = |now: u64| deadline.saturating_sub(now);
+
+    let (group, forked) = st
+        .accts
+        .get(tenant as usize)
+        .map(|a| (a.group as u64, a.forked))
+        .unwrap_or((0, false));
+    // Share epoch: 0 on the cluster's shared set, unique (tenant+1) once
+    // forked — forked tenants never coalesce with anyone.
+    let epoch = if forked { tenant + 1 } else { 0 };
+    let answerable = if forked {
+        pct(
+            h3(seed, tenant, shape, SALT_FORKROUTE),
+            cfg.forked_subset_pct,
+        )
+    } else {
+        shared_routes_to_subset(cfg, seed, group, shape)
+    };
+
+    if answerable {
+        // Shared-scan batching: ride an identical in-flight scan when the
+        // group, epoch and normalized shape all match.
+        let key = (group, epoch, shape);
+        let leader_finish = st.inflight.get(&key).copied().filter(|&f| f > now);
+        let finish = match leader_finish {
+            Some(f) => {
+                st.shared_hits += 1;
+                if let Some(a) = st.acct_mut(tenant) {
+                    a.shared += 1;
+                }
+                st.fold(EV_SHARED_HIT, tenant, rid, f);
+                f
+            }
+            None => {
+                let f = now + cfg.subset_service_ns;
+                st.inflight.insert(key, f);
+                f
+            }
+        };
+        now = finish;
+        if let Some(a) = st.acct_mut(tenant) {
+            a.subset += 1;
+            // A confident subset answer resets the tenant's drift streak
+            // (mirrors `CowSession::finish`).
+            a.streak = 0;
+        }
+        st.fold(EV_RESOLVE_SUBSET, tenant, rid, now ^ sim_rows(seed, rid));
+        st.makespan = st.makespan.max(now);
+        request_done(cfg, seed, st, tenant, now);
+        return now;
+    }
+
+    // Full route: the attempt ladder under the shared fault plan.
+    let mut attempts = 0u32;
+    let mut resolved_full = false;
+    loop {
+        if attempts >= cfg.retry.max_attempts() {
+            break;
+        }
+        let rem = remaining(now);
+        if rem == 0 {
+            break;
+        }
+        let fault = cfg.faults.decide(rid, attempts);
+        if fault.latency_ns >= rem {
+            now += rem;
+            break;
+        }
+        now += fault.latency_ns;
+        attempts += 1;
+        if fault.inject_error {
+            if let Some(a) = st.acct_mut(tenant) {
+                a.retries += 1;
+            }
+            st.retries_total += 1;
+            st.fold(EV_RETRY, tenant, rid, now);
+            if attempts >= cfg.retry.max_attempts() {
+                break;
+            }
+            let sleep = cfg.retry.backoff_ns(seed, rid, attempts - 1);
+            now += sleep.min(remaining(now));
+        } else {
+            now += cfg.full_service_ns;
+            resolved_full = true;
+            break;
+        }
+    }
+
+    if resolved_full {
+        if let Some(a) = st.acct_mut(tenant) {
+            a.full += 1;
+        }
+        st.fold(EV_RESOLVE_FULL, tenant, rid, now ^ sim_rows(seed, rid));
+    } else {
+        // Degrade to the approximation set.
+        now += cfg.subset_service_ns;
+        if let Some(a) = st.acct_mut(tenant) {
+            a.degraded += 1;
+        }
+        st.fold(EV_RESOLVE_DEGRADED, tenant, rid, now ^ sim_rows(seed, rid));
+    }
+
+    // Drift: a full-routed request that confidently deviates extends the
+    // tenant's streak; at the trigger the tenant forks off the shared set
+    // (the COW copy-on-write moment — everyone else's epoch-0 routing is
+    // untouched).
+    if !forked && pct(h3(seed, rid, group, SALT_DRIFT), cfg.drift_pct) {
+        let trip = match st.acct_mut(tenant) {
+            Some(a) => {
+                a.streak += 1;
+                a.streak >= cfg.drift_trigger
+            }
+            None => false,
+        };
+        if trip {
+            if let Some(a) = st.acct_mut(tenant) {
+                a.forked = true;
+                a.streak = 0;
+            }
+            st.forks += 1;
+            st.fold(EV_FORK, tenant, group, now);
+        }
+    }
+
+    st.makespan = st.makespan.max(now);
+    request_done(cfg, seed, st, tenant, now);
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64) -> MtSimConfig {
+        MtSimConfig::standard(seed, 2_000)
+    }
+
+    #[test]
+    fn same_seed_renders_identically() {
+        let cfg = small(1234);
+        let a = run_mt_sim(&cfg);
+        let b = run_mt_sim(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn different_seeds_render_differently() {
+        let a = run_mt_sim(&small(1));
+        let b = run_mt_sim(&small(2));
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn accounting_is_lossless_per_tenant() {
+        for seed in [0u64, 7, 42] {
+            let r = run_mt_sim(&small(seed));
+            assert!(r.lossless(), "seed {seed}: lost requests");
+            let s = &r.stats;
+            assert_eq!(
+                s.resolved_subset + s.resolved_full + s.degraded,
+                s.admitted,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_profile_exercises_all_paths() {
+        let r = run_mt_sim(&small(7));
+        assert!(r.stats.rejected > 0, "no admission rejections");
+        assert!(r.stats.degraded > 0, "no degradations");
+        assert!(r.stats.retries > 0, "no retries");
+        assert!(r.shared_scan_hits > 0, "no shared scans");
+        assert!(r.forks > 0, "no COW forks");
+        assert!(r.departed > 0, "no departures");
+    }
+
+    #[test]
+    fn epoch_zero_tenants_of_a_group_route_identically() {
+        let cfg = small(9);
+        let seed = cfg.faults.seed;
+        for shape in 0..cfg.shapes_per_group {
+            for group in 0..4 {
+                // The routing hash takes only (seed, group, shape) — it
+                // *cannot* depend on the tenant, which is the soundness
+                // condition for coalescing epoch-0 scans.
+                assert_eq!(
+                    shared_routes_to_subset(&cfg, seed, group, shape),
+                    shared_routes_to_subset(&cfg, seed, group, shape)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forked_tenants_never_share_scans() {
+        let r = run_mt_sim(&small(21));
+        // Forked tenants exist in this profile; their shared hits may
+        // predate the fork, but the epoch construction (tenant+1) makes
+        // post-fork coalescing impossible — assert the invariant that
+        // derived it.
+        assert!(r.forks > 0);
+        for (t, stats) in r.per_tenant.iter().enumerate() {
+            let epoch = if stats.forked { t as u64 + 1 } else { 0 };
+            if stats.forked {
+                assert_ne!(epoch, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Sharded multi-tenant serving over copy-on-write approximation sets.
+//!
+//! [`MtServer`] scales the single-session [`Server`](crate::Server) out
+//! to many tenants:
+//!
+//! - **Sharding** — tenants are dealt across independent shard pools
+//!   (own [`AdmissionQueue`], own workers) by the deterministic striped
+//!   policy in [`TenantRegistry`]; one hot shard backs up without
+//!   stalling the rest.
+//! - **COW set sharing** — each tenant registers its *own*
+//!   [`SessionBackend`] (typically an `asqp_core::CowSession` over a
+//!   cluster-shared base), so memory scales with clusters, not tenants;
+//!   a drift-triggered fine-tune forks privately without touching
+//!   anyone else's routing.
+//! - **Shared scans** — in-flight subset queries with the same COW
+//!   group, share epoch and normalized plan shape coalesce through the
+//!   single-flight [`ScanBatcher`]; followers count as per-tenant
+//!   `shared_scan_hits`.
+//! - **Exact per-tenant accounting** — every admission, rejection
+//!   (attributed to the *rejecting* tenant, fixing the global
+//!   `AdmissionQueue` counter), resolution, retry and degradation lands
+//!   on the submitting tenant's [`TenantCounters`], so
+//!   `admitted == resolved` holds per tenant, not just globally.
+//!
+//! The degradation ladder per request is identical to the single-tenant
+//! server: route → subset | full-with-retries → degrade-to-subset.
+
+use crate::backend::SessionBackend;
+use crate::backoff::RetryPolicy;
+use crate::batch::{ScanBatcher, ScanKey, ScanRole};
+use crate::error::{Answer, ServeError, ServeResult, ServedSource};
+use crate::fault::FaultPlan;
+use crate::queue::AdmissionQueue;
+use crate::server::{ServerStats, Ticket};
+use crate::tenant::{TenantCounters, TenantId, TenantRegistry, TenantStats};
+use asqp_db::{DbError, Query};
+use asqp_telemetry as telemetry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Multi-tenant serving configuration.
+#[derive(Debug, Clone)]
+pub struct MtConfig {
+    /// Independent shard pools tenants are striped across.
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Admission-queue depth per shard.
+    pub queue_depth: usize,
+    /// Per-request deadline from admission; `0` = none.
+    pub deadline_ns: u64,
+    pub retry: RetryPolicy,
+    /// Fault plan; worker stalls key off the *global* worker index
+    /// (`shard * workers_per_shard + local`).
+    pub faults: FaultPlan,
+}
+
+impl Default for MtConfig {
+    fn default() -> Self {
+        MtConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            queue_depth: 32,
+            deadline_ns: 5_000_000,
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::disabled(),
+        }
+    }
+}
+
+/// One registered tenant: its backend plus its accounting.
+struct TenantSlot<B> {
+    group: u64,
+    shard: usize,
+    backend: B,
+    counters: Arc<TenantCounters>,
+}
+
+struct MtJob<B> {
+    request: u64,
+    query: Query,
+    admitted_at: Instant,
+    reply: SyncSender<ServeResult>,
+    slot: Arc<TenantSlot<B>>,
+}
+
+struct Shard<B> {
+    queue: AdmissionQueue<MtJob<B>>,
+}
+
+struct MtShared<B> {
+    config: MtConfig,
+    shards: Vec<Shard<B>>,
+    batcher: ScanBatcher,
+    draining: AtomicBool,
+}
+
+/// The sharded multi-tenant front-end.
+pub struct MtServer<B: SessionBackend> {
+    shared: Arc<MtShared<B>>,
+    registry: Arc<TenantRegistry>,
+    slots: RwLock<BTreeMap<TenantId, Arc<TenantSlot<B>>>>,
+    next_request: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<B: SessionBackend> MtServer<B> {
+    /// Spawn `shards × workers_per_shard` workers and start serving.
+    pub fn start(config: MtConfig) -> MtServer<B> {
+        assert!(
+            config.shards > 0 && config.workers_per_shard > 0,
+            "multi-tenant server needs at least one shard and one worker"
+        );
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                queue: AdmissionQueue::new(config.queue_depth),
+            })
+            .collect();
+        let shared = Arc::new(MtShared {
+            shards,
+            batcher: ScanBatcher::new(),
+            draining: AtomicBool::new(false),
+            config,
+        });
+        let mut workers = Vec::new();
+        for shard in 0..shared.config.shards {
+            for local in 0..shared.config.workers_per_shard {
+                let global = shard * shared.config.workers_per_shard + local;
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("asqp-mt-{shard}-{local}"))
+                    .spawn(move || mt_worker_loop(shard, global, shared))
+                    // asqp::allow(panic-path): pool startup, before any request is admitted
+                    .expect("spawn mt worker");
+                workers.push(handle);
+            }
+        }
+        let registry = Arc::new(TenantRegistry::new(shared.config.shards));
+        MtServer {
+            shared,
+            registry,
+            slots: RwLock::new(BTreeMap::new()),
+            next_request: AtomicU64::new(0),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn slots(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<TenantId, Arc<TenantSlot<B>>>> {
+        self.slots.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register `tenant` under COW cluster `group` with its own backend
+    /// view, returning its shard. `group` asserts that this backend's
+    /// subset answers are interchangeable with every same-group backend
+    /// at the same [`SessionBackend::share_epoch`] — that is what
+    /// licenses shared-scan batching. Re-registering an existing tenant
+    /// keeps its original slot.
+    pub fn register_tenant(&self, tenant: TenantId, group: u64, backend: B) -> usize {
+        let shard = self.registry.register(tenant, group);
+        let counters = match self.registry.lookup(tenant) {
+            Some((_, _, c)) => c,
+            None => Arc::new(TenantCounters::default()),
+        };
+        let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+        slots.entry(tenant).or_insert_with(|| {
+            telemetry::counter("serve.mt.tenants", 1);
+            Arc::new(TenantSlot {
+                group,
+                shard,
+                backend,
+                counters,
+            })
+        });
+        shard
+    }
+
+    /// Deregister `tenant`: frees its stripe for future arrivals and
+    /// refuses new submissions; accounting for its served requests
+    /// survives in the registry snapshot.
+    pub fn depart_tenant(&self, tenant: TenantId) -> Option<usize> {
+        let removed = {
+            let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
+            slots.remove(&tenant)
+        };
+        removed.as_ref()?;
+        self.registry.depart(tenant)
+    }
+
+    /// Submit a query on behalf of `tenant`. Fails synchronously with
+    /// [`ServeError::UnknownTenant`] for unregistered tenants and
+    /// [`ServeError::Overloaded`] when the tenant's shard is at depth —
+    /// the rejection is attributed to *this* tenant's counters.
+    pub fn submit(&self, tenant: TenantId, query: Query) -> Result<Ticket, ServeError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let slot = match self.slots().get(&tenant) {
+            Some(slot) => Arc::clone(slot),
+            None => return Err(ServeError::UnknownTenant { tenant }),
+        };
+        let shard = match self.shared.shards.get(slot.shard) {
+            Some(shard) => shard,
+            None => return Err(ServeError::UnknownTenant { tenant }),
+        };
+        let request = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = sync_channel(1);
+        let job = MtJob {
+            request,
+            query,
+            admitted_at: Instant::now(),
+            reply,
+            slot: Arc::clone(&slot),
+        };
+        match shard.queue.try_push(job) {
+            Ok(()) => {
+                slot.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.mt.admitted", 1);
+                telemetry::gauge("serve.mt.queue.depth", shard.queue.len() as f64);
+                Ok(Ticket::internal(request, rx))
+            }
+            Err(e) => {
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    // The fix for the global rejection counter: the shed
+                    // request belongs to the tenant that submitted it.
+                    slot.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.mt.rejected", 1);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submit and wait: the synchronous client path.
+    pub fn query_blocking(&self, tenant: TenantId, query: Query) -> ServeResult {
+        self.submit(tenant, query)?.wait()
+    }
+
+    /// The tenant directory (placement + per-tenant accounting).
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
+    }
+
+    /// Accounting snapshot for one tenant.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.registry.snapshot().remove(&tenant)
+    }
+
+    /// Aggregate counters across all tenants (the single-tenant
+    /// [`ServerStats`] shape, so existing lossless-accounting assertions
+    /// port over).
+    pub fn stats(&self) -> ServerStats {
+        let mut s = ServerStats::default();
+        for stats in self.registry.snapshot().values() {
+            s.admitted += stats.admitted;
+            s.rejected += stats.rejected;
+            s.resolved_subset += stats.resolved_subset;
+            s.resolved_full += stats.resolved_full;
+            s.degraded += stats.degraded;
+            s.retries += stats.retries;
+            s.fatal += stats.fatal;
+        }
+        s
+    }
+
+    /// Subset executions saved by shared-scan batching.
+    pub fn shared_scan_hits(&self) -> u64 {
+        self.shared.batcher.shared_hits()
+    }
+
+    /// Graceful shutdown: stop admitting, drain every shard, join all
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<B: SessionBackend> Drop for MtServer<B> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn mt_worker_loop<B: SessionBackend>(shard: usize, global_worker: usize, shared: Arc<MtShared<B>>) {
+    if let Some(stall_ns) = shared.config.faults.worker_stall(global_worker) {
+        telemetry::counter("serve.mt.worker.stalled", 1);
+        std::thread::sleep(Duration::from_nanos(stall_ns));
+    }
+    let queue = match shared.shards.get(shard) {
+        Some(s) => &s.queue,
+        None => return,
+    };
+    while let Some(job) = queue.pop() {
+        mt_process(&shared, job);
+    }
+}
+
+fn remaining_ns(admitted_at: Instant, deadline_ns: u64) -> u64 {
+    if deadline_ns == 0 {
+        return u64::MAX;
+    }
+    deadline_ns.saturating_sub(admitted_at.elapsed().as_nanos() as u64)
+}
+
+fn sleep_ns(ns: u64) {
+    if ns > 0 {
+        std::thread::sleep(Duration::from_nanos(ns));
+    }
+}
+
+/// Walk one admitted request through the degradation ladder, attributing
+/// every outcome to the submitting tenant.
+fn mt_process<B: SessionBackend>(shared: &MtShared<B>, job: MtJob<B>) {
+    let MtJob {
+        request,
+        query,
+        admitted_at,
+        reply,
+        slot,
+    } = job;
+    let cfg = &shared.config;
+    let counters = &slot.counters;
+
+    let decision = slot.backend.plan(&query);
+
+    let resolve = |result: ServeResult| {
+        match &result {
+            Ok(a) => {
+                let (counter, name) = match a.source {
+                    ServedSource::Subset => (&counters.resolved_subset, "serve.mt.resolved.subset"),
+                    ServedSource::Full => (&counters.resolved_full, "serve.mt.resolved.full"),
+                    ServedSource::DegradedSubset => (&counters.degraded, "serve.mt.degraded"),
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter(name, 1);
+                let _ = slot.backend.finish(&query, &decision);
+                // `finish` may have crossed the tenant's drift trigger
+                // and forked its COW session.
+                if slot.backend.share_epoch() != 0 {
+                    counters.forked.store(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                counters.fatal.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.mt.fatal", 1);
+            }
+        }
+        let _ = reply.send(result);
+    };
+
+    // Subset route: answered through the single-flight batcher so
+    // identical in-flight scans from same-group, same-epoch tenants
+    // execute once.
+    if decision.answerable {
+        let key = ScanKey::for_query(slot.group, slot.backend.share_epoch(), &query);
+        let (outcome, role) = shared
+            .batcher
+            .execute(key, || slot.backend.answer_subset(&query));
+        if role == ScanRole::Follower {
+            counters.shared_scan_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        return match outcome {
+            Ok(rows) => resolve(Ok(Answer {
+                request,
+                rows,
+                source: ServedSource::Subset,
+                attempts: 0,
+            })),
+            Err(e) => resolve(Err(ServeError::Fatal(e))),
+        };
+    }
+
+    // Full route: the attempt ladder (identical to `server::process`).
+    let mut attempts = 0u32;
+    loop {
+        if attempts >= cfg.retry.max_attempts() {
+            break;
+        }
+        let remaining = remaining_ns(admitted_at, cfg.deadline_ns);
+        if remaining == 0 {
+            break;
+        }
+        let fault = cfg.faults.decide(request, attempts);
+        if fault.latency_ns >= remaining {
+            sleep_ns(remaining);
+            attempts += 1;
+            break;
+        }
+        sleep_ns(fault.latency_ns);
+
+        let outcome = if fault.inject_error {
+            Err(DbError::Busy("injected fault".into()))
+        } else {
+            slot.backend.answer_full(&query)
+        };
+        attempts += 1;
+        match outcome {
+            Ok(rows) => {
+                return resolve(Ok(Answer {
+                    request,
+                    rows,
+                    source: ServedSource::Full,
+                    attempts,
+                }));
+            }
+            Err(e) if e.is_transient() => {
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.mt.retries", 1);
+                if attempts >= cfg.retry.max_attempts() {
+                    break;
+                }
+                let sleep = cfg.retry.backoff_ns(cfg.faults.seed, request, attempts - 1);
+                sleep_ns(sleep.min(remaining_ns(admitted_at, cfg.deadline_ns)));
+            }
+            Err(e) => {
+                return resolve(Err(ServeError::Fatal(e)));
+            }
+        }
+    }
+
+    // Degrade: answer from the approximation set, tagged.
+    match slot.backend.answer_subset(&query) {
+        Ok(rows) => resolve(Ok(Answer {
+            request,
+            rows,
+            source: ServedSource::DegradedSubset,
+            attempts,
+        })),
+        Err(e) => resolve(Err(ServeError::Fatal(e))),
+    }
+}

@@ -114,6 +114,12 @@ impl Ticket {
     pub fn wait(self) -> ServeResult {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Crate-internal constructor so other front-ends (the multi-tenant
+    /// server) can hand out tickets over their own reply channels.
+    pub(crate) fn internal(request: u64, rx: Receiver<ServeResult>) -> Ticket {
+        Ticket { request, rx }
+    }
 }
 
 struct Shared<B> {

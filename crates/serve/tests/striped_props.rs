@@ -1,0 +1,114 @@
+//! Property tests for the striped tenant→shard allocation policy:
+//! deterministic replay, ±1 balance under arrivals, and stability under
+//! departures (no rehash-storm reshuffling of surviving tenants).
+
+use asqp_serve::StripedAllocator;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Replay a register/depart script and return the final assignment.
+fn replay(shards: usize, script: &[(bool, u64)]) -> (StripedAllocator, BTreeMap<u64, usize>) {
+    let mut a = StripedAllocator::new(shards);
+    let mut assignment = BTreeMap::new();
+    for &(register, tenant) in script {
+        if register {
+            let s = a.register(tenant);
+            assignment.insert(tenant, s);
+        } else {
+            a.depart(tenant);
+            assignment.remove(&tenant);
+        }
+    }
+    (a, assignment)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The allocation is a pure function of the register/depart sequence:
+    /// replaying any script yields the identical assignment.
+    #[test]
+    fn allocation_is_deterministic(
+        shards in 1usize..9,
+        script in proptest::collection::vec((any::<bool>(), 0u64..64), 0..120),
+    ) {
+        let (a1, m1) = replay(shards, &script);
+        let (a2, m2) = replay(shards, &script);
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(a1.loads(), a2.loads());
+    }
+
+    /// Under registrations alone, greedy least-loaded striping keeps the
+    /// per-shard tenant counts within ±1 of each other.
+    #[test]
+    fn arrival_only_sequences_balance_within_one(
+        shards in 1usize..9,
+        raw in proptest::collection::vec(0u64..4096, 0..200),
+    ) {
+        let tenants: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+        let mut a = StripedAllocator::new(shards);
+        for &t in &tenants {
+            a.register(t);
+        }
+        prop_assert!(
+            a.imbalance() <= 1,
+            "loads {:?} differ by more than 1",
+            a.loads()
+        );
+        prop_assert_eq!(a.loads().iter().sum::<usize>(), tenants.len());
+    }
+
+    /// A departure never moves any surviving tenant: assignments are
+    /// stable (no consistent-hashing rehash storm), and the freed
+    /// capacity is reflected in the loads.
+    #[test]
+    fn departures_never_reassign_survivors(
+        shards in 1usize..9,
+        script in proptest::collection::vec((any::<bool>(), 0u64..48), 0..100),
+        victim in 0u64..48,
+    ) {
+        let (mut a, before) = replay(shards, &script);
+        let had_victim = before.contains_key(&victim);
+        let freed = a.depart(victim);
+        prop_assert_eq!(freed.is_some(), had_victim);
+        for (&t, &s) in before.iter().filter(|&(&t, _)| t != victim) {
+            prop_assert_eq!(
+                a.shard_of(t),
+                Some(s),
+                "tenant {} moved after an unrelated departure",
+                t
+            );
+        }
+        prop_assert_eq!(
+            a.loads().iter().sum::<usize>(),
+            before.len() - usize::from(had_victim)
+        );
+    }
+
+    /// Re-registration after a departure refills the emptiest stripe
+    /// first, so the ±1 balance is restored by arrivals rather than by
+    /// reshuffling.
+    #[test]
+    fn arrivals_after_departures_restore_balance(
+        shards in 1usize..6,
+        n in 0usize..40,
+        raw_departures in proptest::collection::vec(0u64..40, 0..20),
+    ) {
+        let departures: std::collections::BTreeSet<u64> = raw_departures.into_iter().collect();
+        let mut a = StripedAllocator::new(shards);
+        for t in 0..n as u64 {
+            a.register(t);
+        }
+        for &d in &departures {
+            a.depart(d);
+        }
+        // Exactly `deficit` fresh arrivals fill every stripe back up to
+        // the current maximum: least-loaded placement levels the pool.
+        let max = a.loads().iter().copied().max().unwrap_or(0);
+        let deficit: usize = a.loads().iter().map(|&l| max - l).sum();
+        for t in 0..deficit as u64 {
+            a.register(1_000 + t);
+        }
+        prop_assert_eq!(a.imbalance(), 0, "loads {:?}", a.loads());
+    }
+}
