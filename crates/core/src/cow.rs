@@ -28,6 +28,14 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+/// The private fork: epoch and session are published *together* under
+/// the fork lock, so a reader can never observe the fork at epoch 0 (or
+/// the epoch without the fork) — see [`CowSession::snapshot`].
+struct ForkState {
+    epoch: u64,
+    session: Arc<Session>,
+}
+
 /// Process-wide fork-epoch allocator: forked sessions need *unique*
 /// epochs (so two forked tenants never batch together), not reproducible
 /// ones — the epoch value never reaches scores or transcripts.
@@ -57,10 +65,9 @@ struct Counters {
 pub struct CowSession {
     base: Arc<Session>,
     config: SessionConfig,
-    /// The private fork, present only after the first fine-tune.
-    fork: RwLock<Option<Arc<Session>>>,
-    /// `0` while shared; a process-unique value once forked.
-    fork_epoch: AtomicU64,
+    /// The private fork (epoch + session), present only after the first
+    /// fine-tune.
+    fork: RwLock<Option<ForkState>>,
     /// This tenant's consecutive confidently-deviating queries.
     drift: Mutex<Vec<Query>>,
     counters: Counters,
@@ -75,7 +82,6 @@ impl CowSession {
             base,
             config,
             fork: RwLock::new(None),
-            fork_epoch: AtomicU64::new(0),
             drift: Mutex::new(Vec::new()),
             counters: Counters::default(),
         }
@@ -86,26 +92,37 @@ impl CowSession {
         &self.base
     }
 
+    /// Atomically observe `(share_epoch, routing session)`: `(0, base)`
+    /// while shared, `(unique epoch, fork)` once forked. Both come from
+    /// one read of the fork lock, so a concurrent fork can never be seen
+    /// half-published — this is the snapshot the serving layer must key
+    /// shared-scan batching on.
+    pub fn snapshot(&self) -> (u64, Arc<Session>) {
+        let guard = self.fork.read().unwrap_or_else(|p| p.into_inner());
+        match guard.as_ref() {
+            Some(fork) => (fork.epoch, Arc::clone(&fork.session)),
+            None => (0, Arc::clone(&self.base)),
+        }
+    }
+
     /// The session this tenant currently routes against: the private fork
     /// once one exists, the shared base before that.
     pub fn active(&self) -> Arc<Session> {
-        let guard = self.fork.read().unwrap_or_else(|p| p.into_inner());
-        match guard.as_ref() {
-            Some(fork) => Arc::clone(fork),
-            None => Arc::clone(&self.base),
-        }
+        self.snapshot().1
     }
 
     /// True once this tenant has a private approximation set.
     pub fn is_forked(&self) -> bool {
-        self.fork_epoch.load(Ordering::Acquire) != 0
+        self.share_epoch() != 0
     }
 
     /// Scan-sharing identity: `0` while on the shared set (tenants of the
     /// same base with epoch 0 answer subset queries identically), unique
-    /// and non-zero after forking.
+    /// and non-zero after forking. To key work on the epoch *and* execute
+    /// against the matching session, use [`CowSession::snapshot`] instead
+    /// of pairing this with [`CowSession::active`].
     pub fn share_epoch(&self) -> u64 {
-        self.fork_epoch.load(Ordering::Acquire)
+        self.snapshot().0
     }
 
     /// Deviating queries accumulated towards this tenant's fork trigger.
@@ -203,14 +220,26 @@ impl CowSession {
         let full_db = Arc::clone(active.full_db());
         let boost = 1.0 / old_model.train_workload.len().max(1) as f64;
         let new_model = fine_tune(&full_db, &old_model, &drift, boost)?;
-        let forked = Session::new(full_db, new_model, self.config.clone())?;
-        *self.fork.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(forked));
-        if self.fork_epoch.load(Ordering::Acquire) == 0 {
-            let epoch = NEXT_FORK_EPOCH.fetch_add(1, Ordering::Relaxed);
-            self.fork_epoch.store(epoch, Ordering::Release);
-            telemetry::counter("session.cow.fork", 1);
-        } else {
-            telemetry::counter("session.cow.refine", 1);
+        let forked = Arc::new(Session::new(full_db, new_model, self.config.clone())?);
+        let mut guard = self.fork.write().unwrap_or_else(|p| p.into_inner());
+        match guard.as_mut() {
+            Some(fork) => {
+                // Post-fork refinement: the session is exclusively ours,
+                // the epoch (already unique) stays.
+                fork.session = forked;
+                telemetry::counter("session.cow.refine", 1);
+            }
+            None => {
+                // First fork: epoch and session become visible in the
+                // same store, so no reader can key a scan at epoch 0 and
+                // then execute it against the fork.
+                let epoch = NEXT_FORK_EPOCH.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(ForkState {
+                    epoch,
+                    session: forked,
+                });
+                telemetry::counter("session.cow.fork", 1);
+            }
         }
         Ok(())
     }

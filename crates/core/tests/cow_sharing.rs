@@ -79,6 +79,12 @@ fn fork_leaves_the_other_tenant_byte_identical() {
     assert!(Arc::ptr_eq(&tenant_b.active(), &base));
     assert_eq!(tenant_a.share_epoch(), 0);
     assert_eq!(tenant_b.share_epoch(), 0);
+    let (epoch, session) = tenant_a.snapshot();
+    assert_eq!(epoch, 0);
+    assert!(
+        Arc::ptr_eq(&session, &base),
+        "pre-fork snapshot is the base"
+    );
 
     let probes = workload.queries;
     let b_before = view_fingerprint(&tenant_b, &probes);
@@ -96,6 +102,16 @@ fn fork_leaves_the_other_tenant_byte_identical() {
     assert!(
         !Arc::ptr_eq(&tenant_a.active(), &base),
         "the fork must be a private session"
+    );
+    // Epoch and session are published together: one snapshot read can
+    // never pair the shared epoch 0 with the private fork (the TOCTOU
+    // the serving layer's batching safety relies on).
+    let (epoch, session) = tenant_a.snapshot();
+    assert_ne!(epoch, 0);
+    assert_eq!(epoch, tenant_a.share_epoch());
+    assert!(
+        !Arc::ptr_eq(&session, &base),
+        "post-fork snapshot is the private session, atomically with its epoch"
     );
 
     // Tenant B is untouched: same shared session, epoch still 0, and its

@@ -46,14 +46,31 @@ pub trait SessionBackend: Send + Sync + 'static {
         let _ = (q, decision);
         Ok(())
     }
-    /// Scan-sharing identity for the multi-tenant batcher: backends whose
-    /// subset answers are interchangeable report the same epoch. `0`
-    /// (the default) means "private backend, never coalesce across
-    /// tenants" for plain backends — but the COW layer overloads it as
-    /// "shared base set", so only [`CowSession`]-backed tenants of the
-    /// same group actually batch (see `MtServer`).
+    /// Scan-sharing identity for the multi-tenant batcher. Same-group
+    /// backends at the same epoch — **including the default epoch `0`** —
+    /// are declared interchangeable: their identical in-flight subset
+    /// queries coalesce, and a follower is handed a clone of the
+    /// leader's rows. Registering backends that do not answer subset
+    /// queries identically under one group is therefore unsound; give
+    /// them distinct groups. A [`CowSession`] signals its private fork
+    /// with a process-unique non-zero epoch, which takes it out of every
+    /// shared flight of its old cluster.
     fn share_epoch(&self) -> u64 {
         0
+    }
+
+    /// Atomically observe the share epoch *together with* a subset scan
+    /// pinned to the set that epoch describes. The multi-tenant batcher
+    /// keys coalescing on the returned epoch and runs the returned
+    /// closure as the leader's scan; implementations must guarantee that
+    /// a concurrent fork cannot slip in between the two observations
+    /// (the default pairing is correct only because a plain backend's
+    /// epoch never changes).
+    fn pinned_subset_scan<'a>(
+        &'a self,
+        q: &'a Query,
+    ) -> (u64, Box<dyn FnOnce() -> DbResult<ResultSet> + Send + 'a>) {
+        (self.share_epoch(), Box::new(move || self.answer_subset(q)))
     }
 }
 
@@ -109,6 +126,17 @@ impl SessionBackend for CowSession {
     /// Forked tenants stop coalescing with their old cluster.
     fn share_epoch(&self) -> u64 {
         CowSession::share_epoch(self)
+    }
+
+    /// Epoch and session come from one [`CowSession::snapshot`] read, so
+    /// a fork racing this request can never produce a scan that executes
+    /// against the private fork while keyed at the shared epoch 0.
+    fn pinned_subset_scan<'a>(
+        &'a self,
+        q: &'a Query,
+    ) -> (u64, Box<dyn FnOnce() -> DbResult<ResultSet> + Send + 'a>) {
+        let (epoch, session) = self.snapshot();
+        (epoch, Box::new(move || session.answer_subset(q)))
     }
 }
 

@@ -4,18 +4,24 @@
 //! approximation set (see `asqp_core::cow`), so identical subset queries
 //! arriving close together would run the identical scan twice.
 //! [`ScanBatcher`] coalesces them: concurrent executions are keyed by
-//! [`ScanKey`] — the tenant's COW group, its share epoch, and the PR-6
-//! normalized plan shape (`asqp_db::plan_cache::normalized_key`) — and
-//! only the first arrival (the *leader*) runs the scan; followers block
-//! on the leader's flight and clone its result.
+//! [`ScanKey`] — the tenant's COW group, its share epoch, and the
+//! query's **exact** canonical SQL — and only the first arrival (the
+//! *leader*) runs the scan; followers block on the leader's flight and
+//! clone its result.
 //!
 //! Safety argument: a key only matches between tenants of the same group
-//! with the same share epoch. Epoch `0` means "still on the shared base
-//! set", where subset answers are definitionally identical; a forked
-//! tenant carries a process-unique non-zero epoch, so its scans never
-//! coalesce with anyone (including other forks of the same group).
+//! with the same share epoch, for the *same query*. Epoch `0` means
+//! "still on the shared base set", where subset answers are
+//! definitionally identical; a forked tenant carries a process-unique
+//! non-zero epoch, so its scans never coalesce with anyone (including
+//! other forks of the same group). The query component is the full
+//! `Query::to_sql` rendering, literals and LIMIT intact — the plan
+//! cache's normalized *shape* key is deliberately NOT used here: a plan
+//! transfers between literal instantiations of one template, but rows do
+//! not, and coalescing `x = 1` with `x = 2` (or `LIMIT 5` with
+//! `LIMIT 90`) would hand a follower another query's result.
 
-use asqp_db::{plan_cache, DbError, Query, ResultSet};
+use asqp_db::{DbError, Query, ResultSet};
 use asqp_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,9 +34,9 @@ pub struct ScanKey {
     pub group: u64,
     /// `CowSession::share_epoch()`: 0 = shared base, unique when forked.
     pub epoch: u64,
-    /// Normalized plan shape (literals stripped), from
-    /// [`plan_cache::normalized_key`].
-    pub shape: String,
+    /// Exact canonical SQL (`Query::to_sql`), literals and LIMIT intact —
+    /// full query identity, never a normalized shape.
+    pub sql: String,
 }
 
 impl ScanKey {
@@ -39,7 +45,7 @@ impl ScanKey {
         ScanKey {
             group,
             epoch,
-            shape: plan_cache::normalized_key(query),
+            sql: query.to_sql(),
         }
     }
 }
@@ -176,12 +182,30 @@ mod tests {
         }
     }
 
-    fn key(group: u64, epoch: u64, shape: &str) -> ScanKey {
+    fn key(group: u64, epoch: u64, sql: &str) -> ScanKey {
         ScanKey {
             group,
             epoch,
-            shape: shape.to_string(),
+            sql: sql.to_string(),
         }
+    }
+
+    /// Regression (REVIEW: high): same template, different literals or
+    /// LIMITs must NOT share a key — a follower would be handed rows for
+    /// another query. The normalized plan-shape key would collapse all
+    /// four of these.
+    #[test]
+    fn keys_distinguish_literals_and_limits() {
+        let parse = |s: &str| asqp_db::sql::parse(s).expect("valid test SQL");
+        let a = parse("SELECT t.name FROM title AS t WHERE t.year > 1990 LIMIT 5");
+        let b = parse("SELECT t.name FROM title AS t WHERE t.year > 2005 LIMIT 5");
+        let c = parse("SELECT t.name FROM title AS t WHERE t.year > 1990 LIMIT 90");
+        let d = parse("SELECT t.name FROM title AS t WHERE t.year > 1990");
+        let k = |q: &asqp_db::Query| ScanKey::for_query(1, 0, q);
+        assert_ne!(k(&a), k(&b), "different literals must not coalesce");
+        assert_ne!(k(&a), k(&c), "different LIMITs must not coalesce");
+        assert_ne!(k(&a), k(&d), "absent LIMIT must not coalesce");
+        assert_eq!(k(&a), ScanKey::for_query(1, 0, &a), "identity is stable");
     }
 
     #[test]

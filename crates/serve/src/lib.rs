@@ -21,7 +21,7 @@
 //!   independent shard pools ([`TenantRegistry`]), copy-on-write
 //!   approximation-set sharing per workload cluster
 //!   (`asqp_core::CowSession`), single-flight shared-scan batching
-//!   ([`ScanBatcher`]) keyed by the normalized plan shape, and exact
+//!   ([`ScanBatcher`]) keyed by the exact query text, and exact
 //!   per-tenant accounting.
 //! - [`run_mt_sim`] — the multi-tenant simulator replaying a generated
 //!   trace of up to ~10⁶ tenants under the same seeded fault plan, with

@@ -16,7 +16,9 @@
 //!   `asqp_core::cow`;
 //! - concurrent subset scans with equal (group, epoch, shape) coalesce,
 //!   crediting followers with `shared_scan_hits` exactly like the
-//!   threaded [`ScanBatcher`](crate::ScanBatcher);
+//!   threaded [`ScanBatcher`](crate::ScanBatcher) — a simulated "shape"
+//!   id stands for one *exact* query (the sim has no literals), matching
+//!   the batcher's full-query-identity key;
 //! - admission rejections, retries, degradations and resolutions are
 //!   attributed to the owning tenant, and the per-tenant accounting
 //!   lines plus an event-stream digest form the transcript the CI
@@ -63,7 +65,8 @@ pub struct MtSimConfig {
     pub cluster_sample: usize,
     /// Requests per tenant: `1 + hash % extra_requests`.
     pub extra_requests: u64,
-    /// Distinct normalized plan shapes per group's workload.
+    /// Distinct queries per group's workload. A shape id models one
+    /// exact query (the threaded batcher keys on full query text).
     pub shapes_per_group: u64,
     /// Pre-fork percentage (0–100) of (group, shape) pairs the shared
     /// set can answer.
@@ -627,7 +630,7 @@ fn serve_one_mt(
 
     if answerable {
         // Shared-scan batching: ride an identical in-flight scan when the
-        // group, epoch and normalized shape all match.
+        // group, epoch and exact query (shape id) all match.
         let key = (group, epoch, shape);
         let leader_finish = st.inflight.get(&key).copied().filter(|&f| f > now);
         let finish = match leader_finish {

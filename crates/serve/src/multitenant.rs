@@ -13,7 +13,7 @@
 //!   a drift-triggered fine-tune forks privately without touching
 //!   anyone else's routing.
 //! - **Shared scans** — in-flight subset queries with the same COW
-//!   group, share epoch and normalized plan shape coalesce through the
+//!   group, share epoch and exact query text coalesce through the
 //!   single-flight [`ScanBatcher`]; followers count as per-tenant
 //!   `shared_scan_hits`.
 //! - **Exact per-tenant accounting** — every admission, rejection
@@ -157,14 +157,19 @@ impl<B: SessionBackend> MtServer<B> {
     /// view, returning its shard. `group` asserts that this backend's
     /// subset answers are interchangeable with every same-group backend
     /// at the same [`SessionBackend::share_epoch`] — that is what
-    /// licenses shared-scan batching. Re-registering an existing tenant
-    /// keeps its original slot.
+    /// licenses shared-scan batching. Re-registering an *active* tenant
+    /// is a no-op that keeps its original slot (backend, group,
+    /// placement); a tenant that departed and comes back gets a freshly
+    /// allocated stripe and the new backend/group, while its lifetime
+    /// counters carry over.
     pub fn register_tenant(&self, tenant: TenantId, group: u64, backend: B) -> usize {
-        let shard = self.registry.register(tenant, group);
-        let counters = match self.registry.lookup(tenant) {
-            Some((_, _, c)) => c,
-            None => Arc::new(TenantCounters::default()),
-        };
+        if let Some(slot) = self.slots().get(&tenant) {
+            return slot.shard;
+        }
+        // `register` hands back the entry's counters directly (never a
+        // fabricated orphan), so a returning tenant's accounting stays
+        // lossless across the departure round trip.
+        let (shard, counters) = self.registry.register(tenant, group);
         let mut slots = self.slots.write().unwrap_or_else(|p| p.into_inner());
         slots.entry(tenant).or_insert_with(|| {
             telemetry::counter("serve.mt.tenants", 1);
@@ -360,12 +365,15 @@ fn mt_process<B: SessionBackend>(shared: &MtShared<B>, job: MtJob<B>) {
 
     // Subset route: answered through the single-flight batcher so
     // identical in-flight scans from same-group, same-epoch tenants
-    // execute once.
+    // execute once. Epoch and scan come from one atomic backend snapshot
+    // — keying on a separately-read epoch would let a concurrent fork
+    // (another of this tenant's in-flight requests crossing its drift
+    // trigger) slip between key construction and execution, publishing
+    // fork-private rows to shared-base followers.
     if decision.answerable {
-        let key = ScanKey::for_query(slot.group, slot.backend.share_epoch(), &query);
-        let (outcome, role) = shared
-            .batcher
-            .execute(key, || slot.backend.answer_subset(&query));
+        let (epoch, scan) = slot.backend.pinned_subset_scan(&query);
+        let key = ScanKey::for_query(slot.group, epoch, &query);
+        let (outcome, role) = shared.batcher.execute(key, scan);
         if role == ScanRole::Follower {
             counters.shared_scan_hits.fetch_add(1, Ordering::Relaxed);
         }

@@ -210,15 +210,23 @@ impl TenantRegistry {
     }
 
     /// Register `tenant` under approximation-set cluster `group`; returns
-    /// its shard. Idempotent.
-    pub fn register(&self, tenant: TenantId, group: u64) -> usize {
+    /// its shard and its counters (the registry's own `Arc`, so callers
+    /// can attribute outcomes without a fallible second lookup).
+    /// Idempotent for an active tenant; a tenant re-registering after a
+    /// departure gets a freshly allocated stripe, and its retained entry
+    /// is re-synced to the new shard and group — the counters survive the
+    /// round trip, but snapshots always report the actual placement.
+    pub fn register(&self, tenant: TenantId, group: u64) -> (usize, Arc<TenantCounters>) {
         let shard = self.alloc().register(tenant);
-        self.tenants().entry(tenant).or_insert_with(|| TenantEntry {
+        let mut tenants = self.tenants();
+        let entry = tenants.entry(tenant).or_insert_with(|| TenantEntry {
             shard,
             group,
             counters: Arc::new(TenantCounters::default()),
         });
-        shard
+        entry.shard = shard;
+        entry.group = group;
+        (shard, Arc::clone(&entry.counters))
     }
 
     /// Remove `tenant` from placement (its accounting survives so the
@@ -320,6 +328,35 @@ mod tests {
         // The next arrival fills the stripe the departure emptied.
         assert_eq!(a.register(100), freed);
         assert_eq!(a.imbalance(), 0);
+    }
+
+    /// Regression (REVIEW): after depart + re-register, the retained
+    /// entry must report the freshly allocated stripe and group, not the
+    /// stale ones — while the counters carry over.
+    #[test]
+    fn reregistration_after_departure_resyncs_placement() {
+        let reg = TenantRegistry::new(2);
+        let (s1, c1) = reg.register(1, 10);
+        reg.register(2, 10);
+        reg.register(3, 10);
+        c1.admitted.fetch_add(5, Ordering::Relaxed);
+        reg.depart(1);
+        // Tenant 4 fills the freed stripe; tenant 1 then lands elsewhere.
+        reg.register(4, 10);
+        let (s1b, c1b) = reg.register(1, 11);
+        assert_ne!(
+            s1b, s1,
+            "this layout re-places tenant 1 on the other stripe"
+        );
+        assert!(Arc::ptr_eq(&c1, &c1b), "counters survive the round trip");
+        let snap = reg.snapshot();
+        let t1 = snap.get(&1).expect("entry retained");
+        assert_eq!(
+            (t1.shard, t1.group, t1.admitted),
+            (s1b, 11, 5),
+            "snapshot reports actual placement plus surviving counters"
+        );
+        assert_eq!(reg.shard_of(1), Some(s1b), "allocator and entry agree");
     }
 
     #[test]

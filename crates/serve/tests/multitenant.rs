@@ -266,6 +266,69 @@ fn identical_inflight_scans_coalesce_across_tenants() {
     assert_eq!(agg.resolved(), agg.admitted);
 }
 
+/// Regression (REVIEW: high): same-group epoch-0 tenants concurrently
+/// issuing queries of the *same normalized shape* but different literals
+/// or LIMITs must never coalesce — every answer must match a direct
+/// execution of that exact query. Before keying the batcher on the full
+/// query identity, the normalized-shape key handed followers rows for
+/// the wrong literals.
+#[test]
+fn same_shape_different_literals_never_share_rows() {
+    let db = shared_db();
+    let server = Arc::new(MtServer::start(MtConfig {
+        shards: 1,
+        workers_per_shard: 4,
+        queue_depth: 64,
+        deadline_ns: 0,
+        retry: RetryPolicy::default(),
+        faults: FaultPlan::disabled(),
+    }));
+    for t in 0..4u64 {
+        server.register_tenant(t, 7, MirrorBackend::single(Arc::clone(&db), 100));
+    }
+    // One template, four instantiations: distinct literals and LIMITs.
+    let variants: Vec<Query> = [
+        "SELECT t.title FROM title AS t WHERE t.production_year > 2010 LIMIT 7",
+        "SELECT t.title FROM title AS t WHERE t.production_year > 2020 LIMIT 7",
+        "SELECT t.title FROM title AS t WHERE t.production_year > 2010 LIMIT 2",
+        "SELECT t.title FROM title AS t WHERE t.production_year > 2010",
+    ]
+    .iter()
+    .map(|s| asqp_db::sql::parse(s).expect("valid test SQL"))
+    .collect();
+    let expected: Vec<String> = variants
+        .iter()
+        .map(|q| format!("{:?}", db.execute(q).expect("direct execution")))
+        .collect();
+
+    let answers: Vec<(usize, ServeResult)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..64usize)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let variant = i % variants.len();
+                let q = variants[variant].clone();
+                s.spawn(move || (variant, server.query_blocking((i % 4) as u64, q)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    server.shutdown();
+
+    for (variant, r) in &answers {
+        let rows = format!(
+            "{:?}",
+            r.as_ref().expect("subset path cannot fail here").rows
+        );
+        assert_eq!(
+            &rows, &expected[*variant],
+            "variant {variant}: answer must be for the exact submitted query"
+        );
+    }
+}
+
 /// The simulator determinism gate at integration scale: double-run two
 /// seeds at 20k tenants and require byte-identical transcripts plus
 /// lossless per-tenant accounting.
