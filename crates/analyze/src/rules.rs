@@ -64,6 +64,9 @@ const NONDET: Scope = Scope {
         // would break the byte-identical double-run gate.
         "asqp_serve::tenant",
         "asqp_serve::mt_sim",
+        // The streaming driver's transcript is double-run byte-compared
+        // in CI; every decision must be a pure function of the seed.
+        "asqp_serve::stream",
     ],
     // Telemetry is timing-by-design; the fault planner is seeded and pure.
     exempt: &["asqp_telemetry", "asqp_serve::fault"],
@@ -93,6 +96,7 @@ const ITER_ORDER: Scope = Scope {
         "asqp_serve::batch",
         "asqp_serve::multitenant",
         "asqp_serve::mt_sim",
+        "asqp_serve::stream",
     ],
     exempt: &[],
 };

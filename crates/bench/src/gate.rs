@@ -19,8 +19,9 @@ use asqp_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 /// Bench names gated by [`compare`]; everything else is informational.
-/// `serve/multitenant` is already covered by the `serve` prefix but is
-/// listed explicitly: it is the acceptance-gated multi-tenant replay and
+/// `serve/multitenant` and `serve/streaming` are already covered by the
+/// `serve` prefix but are listed explicitly: they are acceptance-gated
+/// (the multi-tenant replay and the living-data streaming driver) and
 /// must stay gated even if the broad `serve` prefix is ever narrowed.
 pub const GATED_PREFIXES: &[&str] = &[
     "scan",
@@ -28,10 +29,12 @@ pub const GATED_PREFIXES: &[&str] = &[
     "zonemap",
     "db/optimizer",
     "db/plan_cache",
+    "db/incremental",
     "nn_matmul",
     "ppo_update",
     "serve",
     "serve/multitenant",
+    "serve/streaming",
 ];
 
 /// Current report schema; bump when fields change incompatibly.

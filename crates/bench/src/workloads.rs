@@ -3,7 +3,7 @@
 //! table, parameterised by fact-table size so CI can run a reduced copy
 //! of the exact same benches.
 
-use asqp_db::{Database, Query, Schema, Value, ValueType};
+use asqp_db::{Database, Query, Row, Schema, Value, ValueType};
 use asqp_nn::Matrix;
 use asqp_rl::{AgentKind, Environment, RolloutBuffer, ToyCoverageEnv, Trainer, TrainerConfig};
 use rand::rngs::StdRng;
@@ -88,6 +88,27 @@ pub fn star_db(fact_rows: usize) -> Database {
             .unwrap();
     }
     db
+}
+
+/// A seeded ingest batch shaped like the star fact table: `pct` percent
+/// of `fact_rows` fresh event rows whose ids continue the clustered run —
+/// the fixture for the incremental-maintenance benches.
+pub fn ingest_batch(fact_rows: usize, pct: usize) -> Vec<Row> {
+    let n_users = (fact_rows / 100).max(8) as i64;
+    let n_items = (fact_rows / 50).max(8) as i64;
+    let n = (fact_rows * pct / 100).max(1);
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int((fact_rows + i) as i64),
+                Value::Int(rng.random_range(0i64..n_users)),
+                Value::Int(rng.random_range(0i64..n_items)),
+                Value::Int(rng.random_range(0i64..100)),
+                Value::Float(rng.random_range(0.0..100.0)),
+            ]
+        })
+        .collect()
 }
 
 /// Selective conjunctive scan over the fact table (~3% pass).

@@ -19,10 +19,22 @@
 //! epoch 0 answer subset queries identically, which is what lets the
 //! serving layer batch their scans), and a forked tenant carries a
 //! process-unique non-zero epoch so it never coalesces with anyone.
+//!
+//! **Data drift** forks the same way interest drift does, but for a
+//! different reason and with a different remedy: when the live database
+//! moves underneath a shared base (appends/updates bump its
+//! [`data_fingerprint`](asqp_db::Database::data_fingerprint)),
+//! [`CowSession::observe_data`] gives the observing tenant a private
+//! session rebuilt from the base's **unchanged** model over the new data
+//! — no fine-tuning, the base and its other tenants stay byte-for-byte
+//! untouched, and the fork decision is a pure function of the two
+//! fingerprints, so every replica of the same interleaving forks at the
+//! same point. A tenant that already owns a private fork refreshes it in
+//! place instead.
 
 use crate::model::fine_tune;
 use crate::session::{RoutePlan, Session, SessionConfig};
-use asqp_db::{DbResult, Query, ResultSet};
+use asqp_db::{Database, DbResult, Query, ResultSet};
 use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -217,7 +229,7 @@ impl CowSession {
         }
         let active = self.active();
         let old_model = active.state().model.clone();
-        let full_db = Arc::clone(active.full_db());
+        let full_db = active.full_db();
         let boost = 1.0 / old_model.train_workload.len().max(1) as f64;
         let new_model = fine_tune(&full_db, &old_model, &drift, boost)?;
         let forked = Arc::new(Session::new(full_db, new_model, self.config.clone())?);
@@ -242,6 +254,46 @@ impl CowSession {
             }
         }
         Ok(())
+    }
+
+    /// Observe the live database for **data drift** — the tenant-side
+    /// counterpart of [`Session::observe_data`]. While this tenant still
+    /// shares the base, a stale fingerprint **forks**: the tenant gets a
+    /// private session built from the base's unchanged model over `live`
+    /// (a data refresh, not interest retraining — the drift streak is
+    /// untouched), the base and its other tenants are never written. A
+    /// tenant that already owns a fork refreshes it in place. Returns
+    /// `true` when a fork or refresh happened.
+    pub fn observe_data(&self, live: &Arc<Database>) -> DbResult<bool> {
+        let (epoch, active) = self.snapshot();
+        if live.data_fingerprint() == active.data_fingerprint() {
+            return Ok(false);
+        }
+        if epoch != 0 {
+            // The fork is exclusively ours: refresh it in place.
+            telemetry::counter("session.cow.data_refresh", 1);
+            return active.observe_data(live);
+        }
+        telemetry::counter("session.cow.data_drift.detected", 1);
+        let model = active.state().model.clone();
+        let refreshed = Arc::new(Session::new(Arc::clone(live), model, self.config.clone())?);
+        let mut guard = self.fork.write().unwrap_or_else(|p| p.into_inner());
+        if let Some(fork) = guard.as_ref() {
+            // Lost a fork race: another thread published a private session
+            // (with a possibly fine-tuned model) between our snapshot and
+            // this lock. Its model supersedes the shared one — refresh it
+            // rather than overwrite it.
+            let session = Arc::clone(&fork.session);
+            drop(guard);
+            return session.observe_data(live);
+        }
+        let epoch = NEXT_FORK_EPOCH.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(ForkState {
+            epoch,
+            session: refreshed,
+        });
+        telemetry::counter("session.cow.data_fork", 1);
+        Ok(true)
     }
 
     /// Answer a query end to end (plan → route → finish), the synchronous

@@ -15,6 +15,17 @@
 //! interleave its own deadline and degradation logic between the routing
 //! decision and the answer; [`Session::query`] composes them for the
 //! simple synchronous path.
+//!
+//! Sessions also track **data drift**, which is distinct from interest
+//! drift: interest drift means the *user* moved (their queries left the
+//! trained region) and is answered by fine-tuning the model on the drift
+//! queries; data drift means the *database* moved (rows were appended or
+//! updated underneath the session) and is answered by
+//! [`Session::observe_data`] — a targeted refresh that re-materialises
+//! the approximation set and refits the estimator from the **same**
+//! model, without any retraining. The state records the
+//! [`Database::data_fingerprint`] it was built against, so staleness is
+//! detected by a single fingerprint comparison.
 
 use crate::aggregates::approximate_aggregate;
 use crate::estimator::{AnswerabilityEstimator, Prediction};
@@ -40,6 +51,10 @@ pub struct SessionStats {
     pub subset_answers: usize,
     pub full_db_answers: usize,
     pub fine_tunes: usize,
+    /// Data-drift refreshes (same model re-materialised over new data),
+    /// counted separately from interest-drift `fine_tunes`.
+    #[serde(default)]
+    pub data_refreshes: usize,
 }
 
 /// Session routing/drift policy (paper defaults: answerability threshold
@@ -76,10 +91,15 @@ pub struct SessionState {
     pub model: TrainedModel,
     pub subset: Database,
     pub estimator: AnswerabilityEstimator,
+    /// [`Database::data_fingerprint`] of the full database this state was
+    /// materialised against; a mismatch with the live database means the
+    /// subset and estimator describe stale data.
+    pub data_fingerprint: u64,
 }
 
 impl SessionState {
     fn build(full_db: &Database, model: TrainedModel) -> DbResult<SessionState> {
+        let data_fingerprint = full_db.data_fingerprint();
         let subset = model.materialize(full_db, None)?;
         let estimator =
             AnswerabilityEstimator::fit(&model, full_db, &subset, model.config.metric_params())?;
@@ -87,6 +107,7 @@ impl SessionState {
             model,
             subset,
             estimator,
+            data_fingerprint,
         })
     }
 }
@@ -106,12 +127,16 @@ struct Counters {
     subset_answers: AtomicUsize,
     full_db_answers: AtomicUsize,
     fine_tunes: AtomicUsize,
+    data_refreshes: AtomicUsize,
 }
 
 /// A live exploration session over a trained model, shareable across
 /// threads (`&self` methods throughout).
 pub struct Session {
-    full_db: Arc<Database>,
+    /// The full database answered against and fine-tuned over. Behind a
+    /// lock so a data-drift refresh ([`Session::observe_data`]) can swap
+    /// in the new snapshot together with the rebuilt routing state.
+    full_db: RwLock<Arc<Database>>,
     pub config: SessionConfig,
     state: RwLock<SessionState>,
     /// Consecutive confidently-deviating queries since the last confident
@@ -129,7 +154,7 @@ impl Session {
     ) -> DbResult<Self> {
         let state = SessionState::build(&full_db, model)?;
         Ok(Session {
-            full_db,
+            full_db: RwLock::new(full_db),
             config,
             state: RwLock::new(state),
             drift: Mutex::new(Vec::new()),
@@ -137,9 +162,15 @@ impl Session {
         })
     }
 
-    /// The full database this session falls back to.
-    pub fn full_db(&self) -> &Arc<Database> {
-        &self.full_db
+    /// The full database this session currently falls back to (a cheap
+    /// `Arc` snapshot; [`Session::observe_data`] may swap it later).
+    pub fn full_db(&self) -> Arc<Database> {
+        Arc::clone(&self.full_db.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Fingerprint of the data the current routing state was built on.
+    pub fn data_fingerprint(&self) -> u64 {
+        self.state().data_fingerprint
     }
 
     /// Read access to the model-derived state (estimator, subset, model).
@@ -155,6 +186,7 @@ impl Session {
             subset_answers: self.counters.subset_answers.load(Ordering::Relaxed),
             full_db_answers: self.counters.full_db_answers.load(Ordering::Relaxed),
             fine_tunes: self.counters.fine_tunes.load(Ordering::Relaxed),
+            data_refreshes: self.counters.data_refreshes.load(Ordering::Relaxed),
         }
     }
 
@@ -180,7 +212,7 @@ impl Session {
     pub fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
         let state = self.state();
         if q.is_aggregate() {
-            approximate_aggregate(&self.full_db, &state.subset, q)
+            approximate_aggregate(&self.full_db(), &state.subset, q)
         } else {
             state.subset.execute(q)
         }
@@ -188,7 +220,7 @@ impl Session {
 
     /// Answer `q` from the full database.
     pub fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
-        self.full_db.execute(q)
+        self.full_db().execute(q)
     }
 
     /// Record the outcome of one routed query: statistics, the
@@ -285,14 +317,56 @@ impl Session {
         }
         let _ft_span = telemetry::span("session.fine_tune");
         telemetry::counter("session.fine_tune.runs", 1);
+        let full_db = self.full_db();
         let old_model = self.state().model.clone();
         // Boost each drift query to the weight mass of the average original.
         let boost = 1.0 / old_model.train_workload.len().max(1) as f64;
-        let new_model = fine_tune(&self.full_db, &old_model, &drift, boost)?;
-        let new_state = SessionState::build(&self.full_db, new_model)?;
+        let new_model = fine_tune(&full_db, &old_model, &drift, boost)?;
+        let new_state = SessionState::build(&full_db, new_model)?;
         *self.state.write().unwrap_or_else(|p| p.into_inner()) = new_state;
         self.counters.fine_tunes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Observe the live database for **data drift**: rows appended or
+    /// updated since this session's routing state was materialised. A
+    /// fingerprint match returns `false` immediately (the cheap steady
+    /// state). On a mismatch the session runs a *targeted refresh* — the
+    /// approximation set is re-materialised and the estimator refit from
+    /// the **same** trained model over the new snapshot (no retraining;
+    /// the user's interest region did not move, the data under it did) —
+    /// and the new database replaces the old one for full-DB fallbacks.
+    /// Returns `true` when a refresh ran.
+    ///
+    /// The rebuild happens outside the state lock, so concurrent readers
+    /// keep routing against the old (internally consistent) state until
+    /// the swap; a concurrent refresh to the same fingerprint is detected
+    /// under the write lock and skipped.
+    pub fn observe_data(&self, live: &Arc<Database>) -> DbResult<bool> {
+        let live_fp = live.data_fingerprint();
+        if live_fp == self.state().data_fingerprint {
+            return Ok(false);
+        }
+        telemetry::counter("session.data_drift.detected", 1);
+        let _refresh_span = telemetry::span("session.data_refresh");
+        let model = self.state().model.clone();
+        let new_state = SessionState::build(live, model)?;
+        {
+            // Lock order: state before full_db, matching `answer_subset`
+            // (which reads full_db while holding the state guard).
+            let mut state_guard = self.state.write().unwrap_or_else(|p| p.into_inner());
+            if state_guard.data_fingerprint == live_fp {
+                // Another thread refreshed to this snapshot while we were
+                // building; ours is byte-identical, so drop it.
+                return Ok(false);
+            }
+            let mut db_guard = self.full_db.write().unwrap_or_else(|p| p.into_inner());
+            *db_guard = Arc::clone(live);
+            *state_guard = new_state;
+        }
+        self.counters.data_refreshes.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("session.data_refresh.runs", 1);
+        Ok(true)
     }
 }
 
@@ -455,6 +529,48 @@ mod tests {
         session.query(&aliens[2]).unwrap();
         assert_eq!(session.stats().fine_tunes, 1);
         assert_eq!(session.pending_drift(), 0, "fine-tune consumes the streak");
+    }
+
+    /// Data drift (the database moved) must trigger a targeted refresh —
+    /// same model, new materialisation — never an interest-drift retrain.
+    #[test]
+    fn data_drift_refreshes_without_retraining() {
+        let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+        let w = imdb::workload(12, 1);
+        let model = train(&db, &w, &quick_config()).unwrap();
+        let cfg = SessionConfig {
+            answer_threshold: 0.25,
+            ..SessionConfig::default()
+        };
+        let session = Session::new(Arc::clone(&db), model, cfg).unwrap();
+        let before = session.data_fingerprint();
+
+        // Same snapshot → steady-state no-op.
+        assert!(!session.observe_data(&db).unwrap());
+        assert_eq!(session.stats().data_refreshes, 0);
+
+        // Rewrite one row in place: contents identical, but the data
+        // version moved, so the routing state is provably stale.
+        let mut live = (*db).clone();
+        let row = live.table("title").unwrap().row(0);
+        live.update_rows("title", &[(0, row)]).unwrap();
+        let live = Arc::new(live);
+        assert_ne!(live.data_fingerprint(), before);
+
+        assert!(session.observe_data(&live).unwrap());
+        assert_eq!(session.stats().data_refreshes, 1);
+        assert_eq!(session.stats().fine_tunes, 0, "refresh must not retrain");
+        assert_eq!(session.data_fingerprint(), live.data_fingerprint());
+        assert!(
+            Arc::ptr_eq(&session.full_db(), &live),
+            "full-DB fallbacks must move to the new snapshot"
+        );
+
+        // Observing the same snapshot again is a no-op, and queries still
+        // route against the refreshed state.
+        assert!(!session.observe_data(&live).unwrap());
+        assert_eq!(session.stats().data_refreshes, 1);
+        session.query(&w.queries[0]).unwrap();
     }
 
     #[test]

@@ -137,6 +137,65 @@ fn fork_leaves_the_other_tenant_byte_identical() {
     assert_eq!(tenant_a.pending_drift(), 0, "fork consumes the drift set");
 }
 
+/// Data drift forks exactly like interest drift — privately. When the
+/// live database moves underneath a shared base, the observing tenant
+/// gets a fresh private session over the new data (same model, no
+/// fine-tune) while the base and every sibling stay byte-identical.
+#[test]
+fn data_drift_forks_privately_and_leaves_siblings_byte_identical() {
+    let db = Arc::new(imdb::generate(Scale::Tiny, 1));
+    let workload = imdb::workload(12, 1);
+    let model = train(&db, &workload, &quick_config()).unwrap();
+    let base = Arc::new(Session::new(Arc::clone(&db), model, SessionConfig::default()).unwrap());
+
+    let tenant_a = CowSession::new(Arc::clone(&base), SessionConfig::default());
+    let tenant_b = CowSession::new(Arc::clone(&base), SessionConfig::default());
+    let probes = workload.queries;
+    let b_before = view_fingerprint(&tenant_b, &probes);
+
+    // Fresh data, unchanged fingerprint → nothing happens.
+    assert!(!tenant_a.observe_data(&db).unwrap());
+    assert!(!tenant_a.is_forked());
+
+    // The live database moves (an in-place rewrite bumps the version even
+    // though the bytes match — staleness is a version property).
+    let mut live = (*db).clone();
+    let row = live.table("title").unwrap().row(0);
+    live.update_rows("title", &[(0, row)]).unwrap();
+    let live = Arc::new(live);
+
+    // Tenant A observes the drift and forks deterministically.
+    assert!(tenant_a.observe_data(&live).unwrap());
+    assert!(tenant_a.is_forked());
+    assert_ne!(tenant_a.share_epoch(), 0);
+    let fork = tenant_a.active();
+    assert!(!Arc::ptr_eq(&fork, &base));
+    assert_eq!(fork.data_fingerprint(), live.data_fingerprint());
+    assert_eq!(
+        fork.stats().fine_tunes,
+        0,
+        "a data fork re-materialises; it must not retrain"
+    );
+    assert_eq!(
+        tenant_a.pending_drift(),
+        0,
+        "data drift must not touch the interest-drift streak"
+    );
+    // Observing the same snapshot again is a no-op on the private fork.
+    assert!(!tenant_a.observe_data(&live).unwrap());
+
+    // Tenant B and the base never moved: still epoch 0, still routing
+    // against the original snapshot, answers bit-for-bit unchanged.
+    assert!(!tenant_b.is_forked());
+    assert!(Arc::ptr_eq(&tenant_b.active(), &base));
+    assert_eq!(base.data_fingerprint(), db.data_fingerprint());
+    let b_after = view_fingerprint(&tenant_b, &probes);
+    assert_eq!(
+        b_before, b_after,
+        "a sibling's data fork must not perturb tenant B's view by a single bit"
+    );
+}
+
 #[test]
 fn epoch_zero_views_of_one_base_are_interchangeable() {
     let db = Arc::new(imdb::generate(Scale::Tiny, 1));

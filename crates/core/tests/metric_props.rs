@@ -11,9 +11,22 @@
 //!
 //! Each property runs against randomly generated range/point workloads and
 //! random row subsets, seeded through the proptest harness.
+//!
+//! A second family covers **living data** (incremental ingest through
+//! [`Database::append_rows`]):
+//!
+//! 4. **Ingest equivalence** — scoring a subset against a database that
+//!    grew incrementally is bit-identical to scoring it against a fresh
+//!    database loaded with the final rows (the fingerprinted cardinality
+//!    cache can never serve a stale `|q(T)|`).
+//! 5. **Irrelevant-ingest invariance** — appending rows no workload query
+//!    matches leaves every full count and the score bit-identical.
+//! 6. **Ingest antitonicity** — growing the full database can only lower
+//!    (or keep) the score of a fixed approximation set: `|q(T)|` is
+//!    nondecreasing under appends, so every per-query cap is too.
 
 use asqp_core::metric::{per_query_fractions, score, FullCounts, MetricParams};
-use asqp_db::{sql, Database, Schema, Value, ValueType, Workload};
+use asqp_db::{sql, Database, Row, Schema, Value, ValueType, Workload};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,6 +181,128 @@ proptest! {
         {
             prop_assert!((0.0..=1.0).contains(f), "fraction {i} out of bounds: {f}");
         }
+    }
+}
+
+/// Random rows inside the query vocabulary: `x` overlaps the generated
+/// range bounds and `y` the point-query domain.
+fn gen_matching_rows(rng: &mut StdRng, n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0..ROWS + 40);
+            vec![Value::Int(x), Value::Int(x % 7)]
+        })
+        .collect()
+}
+
+/// Rows no generated query can match: `x` far above every range bound
+/// (bounds stay below `ROWS + 130`) and `y` outside the `0..9` domain.
+fn gen_irrelevant_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| vec![Value::Int(100_000 + i as i64), Value::Int(77)])
+        .collect()
+}
+
+/// A fresh database holding exactly `rows` — the from-scratch oracle the
+/// incrementally grown database is scored against.
+fn db_from_rows(rows: &[Row]) -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "t",
+            Schema::build(&[("x", ValueType::Int), ("y", ValueType::Int)]),
+        )
+        .unwrap();
+    for r in rows {
+        t.push_row(r).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property 4: score over an incrementally grown database equals the
+    /// score over a from-scratch database with the same final rows — to
+    /// the bit. The live database's cardinality cache is warmed *before*
+    /// the append, so a stale `|q(T)|` would be caught here.
+    #[test]
+    fn incremental_ingest_rescores_like_from_scratch(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1A);
+        let mut live = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let workload = Workload::weighted(queries, weights);
+        let params = MetricParams::new(rng.random_range(1..120usize));
+        let sub = subset_of(&live, &gen_selection(&mut rng));
+
+        // Warm the fingerprinted cardinality cache on the pre-append data.
+        let warm = FullCounts::compute(&live, &workload).unwrap();
+        prop_assert_eq!(warm.counts.len(), workload.len());
+
+        let n_matching = rng.random_range(1..60usize);
+        let mut batch = gen_matching_rows(&mut rng, n_matching);
+        batch.extend(gen_irrelevant_rows(rng.random_range(0..20usize)));
+        let mut final_rows: Vec<Row> = (0..ROWS).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect();
+        final_rows.extend(batch.iter().cloned());
+        live.append_rows("t", &batch).unwrap();
+
+        let fresh = db_from_rows(&final_rows);
+        let full_live = FullCounts::compute(&live, &workload).unwrap();
+        let full_fresh = FullCounts::compute(&fresh, &workload).unwrap();
+        prop_assert_eq!(&full_live.counts, &full_fresh.counts, "stale |q(T)| served after ingest");
+
+        let s_live = score(&live, &sub, &workload, params).unwrap();
+        let s_fresh = score(&fresh, &sub, &workload, params).unwrap();
+        prop_assert_eq!(
+            s_live.to_bits(), s_fresh.to_bits(),
+            "incremental score {} != from-scratch score {}", s_live, s_fresh
+        );
+    }
+
+    /// Property 5: appending rows outside every query's reach changes
+    /// neither the full counts nor the score, bit for bit.
+    #[test]
+    fn irrelevant_ingest_leaves_score_bit_identical(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2B);
+        let mut live = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let workload = Workload::weighted(queries, weights);
+        let params = MetricParams::new(rng.random_range(1..120usize));
+        let sub = subset_of(&live, &gen_selection(&mut rng));
+
+        let before_counts = FullCounts::compute(&live, &workload).unwrap();
+        let s_before = score(&live, &sub, &workload, params).unwrap();
+
+        live.append_rows("t", &gen_irrelevant_rows(rng.random_range(1..50usize))).unwrap();
+
+        let after_counts = FullCounts::compute(&live, &workload).unwrap();
+        prop_assert_eq!(&before_counts.counts, &after_counts.counts);
+        let s_after = score(&live, &sub, &workload, params).unwrap();
+        prop_assert_eq!(s_before.to_bits(), s_after.to_bits());
+    }
+
+    /// Property 6: ingest is antitone for a fixed subset — new matching
+    /// rows can only grow `|q(T)|`, so the score never rises.
+    #[test]
+    fn ingest_never_raises_the_score_of_a_fixed_subset(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3C);
+        let mut live = test_db();
+        let queries = gen_queries(&mut rng);
+        let weights = gen_weights(&mut rng, queries.len());
+        let workload = Workload::weighted(queries, weights);
+        let params = MetricParams::new(rng.random_range(1..120usize));
+        let sub = subset_of(&live, &gen_selection(&mut rng));
+
+        let s_before = score(&live, &sub, &workload, params).unwrap();
+        let n_matching = rng.random_range(1..80usize);
+        live.append_rows("t", &gen_matching_rows(&mut rng, n_matching)).unwrap();
+        let s_after = score(&live, &sub, &workload, params).unwrap();
+        prop_assert!(
+            s_after <= s_before + 1e-12,
+            "ingest raised a stale subset's score: {} -> {}", s_before, s_after
+        );
     }
 }
 

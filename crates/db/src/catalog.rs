@@ -7,33 +7,53 @@ use crate::plan_cache::PlanCache;
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::sql;
-use crate::stats::TableStats;
+use crate::stats::{StatsAccum, TableStats};
 use crate::table::Table;
+use crate::value::Row;
+use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, RwLock};
 
 /// Memoised full-database result cardinalities (`|q(D)|` in the paper's
-/// Eq. 1), keyed by each query's canonical SQL. Derived state: cloning or
-/// deserialising a database starts with an empty cache, and any mutation
-/// entry point clears it.
+/// Eq. 1), keyed by each query's canonical SQL. Every entry records the
+/// *data fingerprint* of the query's FROM tables at compute time; a lookup
+/// whose fingerprint no longer matches is treated as a miss, so a stale
+/// cardinality can never be served after an append or update. Cloning or
+/// deserialising a database starts with an empty cache, and the wholesale
+/// mutation entry points (`table_mut`, `add_table`, `drop_table`) still
+/// clear it outright.
 #[derive(Debug, Default)]
-struct CountCache(RwLock<HashMap<String, usize>>);
+struct CountCache(RwLock<HashMap<String, (u64, usize)>>);
 
 impl CountCache {
-    fn get(&self, key: &str) -> Option<usize> {
-        self.0
+    /// Version-checked lookup: a hit requires the stored data fingerprint
+    /// to equal `fingerprint`.
+    fn get(&self, key: &str, fingerprint: u64) -> Option<usize> {
+        match self
+            .0
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(key)
             .copied()
+        {
+            Some((fp, n)) if fp == fingerprint => {
+                telemetry::counter("db.count_cache.hit", 1);
+                Some(n)
+            }
+            Some(_) => {
+                telemetry::counter("db.count_cache.stale", 1);
+                None
+            }
+            None => None,
+        }
     }
 
-    fn put(&self, key: String, n: usize) {
+    fn put(&self, key: String, fingerprint: u64, n: usize) {
         self.0
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, n);
+            .insert(key, (fingerprint, n));
     }
 
     fn clear(&self) {
@@ -47,26 +67,92 @@ impl Clone for CountCache {
     }
 }
 
-/// Memoised per-table [`TableStats`]. Derived state with the same lifecycle
-/// as [`CountCache`]: cloning or deserialising starts empty, and every
-/// mutation entry point clears it.
+/// One table's memoised statistics state: the order-insensitive accumulator
+/// pinned to the data version it reflects, plus the (lazily) derived
+/// [`TableStats`]. Keeping the accumulator lets an append absorb just the
+/// new rows instead of rescanning the table; keeping derivation lazy means
+/// a burst of appends pays one O(distinct) derive at the next read, not one
+/// per batch.
+#[derive(Debug)]
+struct StatsEntry {
+    version: u64,
+    accum: StatsAccum,
+    derived: Option<Arc<TableStats>>,
+}
+
+/// Memoised per-table statistics. Derived state with the same lifecycle as
+/// [`CountCache`]: cloning or deserialising starts empty, wholesale
+/// mutation entry points clear it, and the incremental entry points
+/// ([`Database::append_rows`] / [`Database::update_rows`]) maintain live
+/// entries in place.
 #[derive(Debug, Default)]
-struct StatsCache(RwLock<HashMap<String, Arc<TableStats>>>);
+struct StatsCache(RwLock<HashMap<String, StatsEntry>>);
 
 impl StatsCache {
-    fn get(&self, key: &str) -> Option<Arc<TableStats>> {
-        self.0
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(key)
-            .cloned()
+    /// Stats for `table` at its current version: served from the entry when
+    /// fresh, derived from the cached accumulator when only derivation is
+    /// missing, recomputed from scratch otherwise.
+    fn get_or_compute(&self, table: &Table) -> Arc<TableStats> {
+        let version = table.data_version();
+        let mut map = self.0.write().unwrap_or_else(|e| e.into_inner());
+        match map.get_mut(table.name()) {
+            Some(e) if e.version == version => {
+                if let Some(d) = &e.derived {
+                    return Arc::clone(d);
+                }
+                let d = Arc::new(e.accum.derive(table.name(), table.schema()));
+                e.derived = Some(Arc::clone(&d));
+                d
+            }
+            _ => {
+                let accum = StatsAccum::from_table(table);
+                let d = Arc::new(accum.derive(table.name(), table.schema()));
+                map.insert(
+                    table.name().to_string(),
+                    StatsEntry {
+                        version,
+                        accum,
+                        derived: Some(Arc::clone(&d)),
+                    },
+                );
+                d
+            }
+        }
     }
 
-    fn put(&self, key: String, stats: Arc<TableStats>) {
-        self.0
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, stats);
+    /// Absorb an append into the cached accumulator, if the entry was
+    /// current at `old_version`. A stale entry is dropped (the next read
+    /// recomputes from scratch); a missing entry stays missing (lazy).
+    fn absorb_append(&self, table: &Table, old_rows: usize, old_version: u64) {
+        let mut map = self.0.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = map.get_mut(table.name()) {
+            if e.version == old_version {
+                telemetry::counter("db.stats.incremental", 1);
+                e.accum.absorb_rows(table, old_rows);
+                e.version = table.data_version();
+                e.derived = None;
+            } else {
+                map.remove(table.name());
+            }
+        }
+    }
+
+    /// Apply in-place row overwrites to the cached accumulator, mirroring
+    /// [`StatsCache::absorb_append`]'s version discipline.
+    fn absorb_update(&self, table: &Table, old_version: u64, changes: &[(Row, &Row)]) {
+        let mut map = self.0.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = map.get_mut(table.name()) {
+            if e.version == old_version {
+                telemetry::counter("db.stats.incremental", 1);
+                for (old_row, new_row) in changes {
+                    e.accum.apply_update(old_row, new_row);
+                }
+                e.version = table.data_version();
+                e.derived = None;
+            } else {
+                map.remove(table.name());
+            }
+        }
     }
 
     fn clear(&self) {
@@ -144,6 +230,82 @@ impl Database {
         self.tables.contains_key(name)
     }
 
+    /// Append a batch of rows to `name` through the incremental maintenance
+    /// path: the batch is validated atomically, the table's zone maps are
+    /// extended rather than rebuilt, cached statistics absorb just the new
+    /// rows, and the version-fingerprinted caches (cardinalities, plans)
+    /// invalidate themselves lazily on next use — nothing is wholesale-
+    /// cleared. Returns the number of rows appended.
+    pub fn append_rows(&mut self, name: &str, rows: &[Row]) -> DbResult<usize> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        let old_rows = table.row_count();
+        let old_version = table.data_version();
+        let n = table.append_rows(rows)?;
+        if n > 0 {
+            let table = &self.tables[name];
+            self.stats_cache.absorb_append(table, old_rows, old_version);
+        }
+        Ok(n)
+    }
+
+    /// Overwrite existing rows of `name` in place (row id → replacement
+    /// row), with the same incremental cache maintenance as
+    /// [`Database::append_rows`]. Returns the number of rows updated.
+    pub fn update_rows(&mut self, name: &str, updates: &[(usize, Row)]) -> DbResult<usize> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        let old_version = table.data_version();
+        // Pair each update with the value it actually overwrites: when one
+        // batch touches the same row twice, the second overwrite retracts
+        // the first one's row, not the pre-batch original.
+        let mut overwritten: HashMap<usize, Row> = HashMap::new();
+        let mut changes: Vec<(Row, &Row)> = Vec::with_capacity(updates.len());
+        for (rid, new_row) in updates {
+            if *rid >= table.row_count() {
+                break; // update_rows below rejects the whole batch
+            }
+            let old = overwritten
+                .get(rid)
+                .cloned()
+                .unwrap_or_else(|| table.row(*rid));
+            changes.push((old, new_row));
+            overwritten.insert(*rid, new_row.clone());
+        }
+        let n = table.update_rows(updates)?;
+        if n > 0 {
+            let table = &self.tables[name];
+            self.stats_cache.absorb_update(table, old_version, &changes);
+        }
+        Ok(n)
+    }
+
+    /// FNV-1a fingerprint of every table's (name, data version) pair — a
+    /// cheap summary of *what data the database holds*. Moves whenever any
+    /// table's contents change; used by sessions to detect data drift.
+    pub fn data_fingerprint(&self) -> u64 {
+        fnv_fold(self.tables.values().map(|t| (t.name(), t.data_version())))
+    }
+
+    /// Data fingerprint restricted to a query's FROM tables (missing tables
+    /// fold a sentinel). This is what keys the cardinality cache: an append
+    /// to an unrelated table must not invalidate this query's count.
+    fn query_data_fingerprint(&self, query: &Query) -> u64 {
+        fnv_fold(query.from.iter().map(|tref| {
+            (
+                tref.table.as_str(),
+                self.tables
+                    .get(&tref.table)
+                    .map(|t| t.data_version())
+                    .unwrap_or(u64::MAX),
+            )
+        }))
+    }
+
     /// Remove a table from the catalog, returning it.
     pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
         self.count_cache.clear();
@@ -180,14 +342,17 @@ impl Database {
     /// Result cardinality `|q(D)|`, memoised across calls keyed by the
     /// query's canonical SQL. The Eq.-1 metric normalises every per-query
     /// fraction by this count, so scoring many candidate approximation sets
-    /// against one workload re-uses each full-database execution.
+    /// against one workload re-uses each full-database execution. Entries
+    /// are pinned to the FROM tables' data fingerprint: after an append or
+    /// update the fingerprint moves and the count is recomputed.
     pub fn cached_row_count(&self, query: &Query) -> DbResult<usize> {
         let key = query.to_sql();
-        if let Some(n) = self.count_cache.get(&key) {
+        let fingerprint = self.query_data_fingerprint(query);
+        if let Some(n) = self.count_cache.get(&key, fingerprint) {
             return Ok(n);
         }
         let n = self.execute(query)?.rows.len();
-        self.count_cache.put(key, n);
+        self.count_cache.put(key, fingerprint, n);
         Ok(n)
     }
 
@@ -197,16 +362,14 @@ impl Database {
         self.execute(&q)
     }
 
-    /// Statistics for one table, memoised until the table mutates. The
-    /// optimizer's cost model calls this per query; without memoisation
-    /// every `explain()`/plan recomputed an O(rows × columns) pass.
+    /// Statistics for one table, memoised until the table's data version
+    /// moves. The optimizer's cost model calls this per query; without
+    /// memoisation every `explain()`/plan recomputed an O(rows × columns)
+    /// pass. After [`Database::append_rows`] / [`Database::update_rows`]
+    /// the cached accumulator is already up to date and only the cheap
+    /// O(distinct) derivation runs here.
     pub fn table_stats(&self, name: &str) -> DbResult<Arc<TableStats>> {
-        if let Some(s) = self.stats_cache.get(name) {
-            return Ok(s);
-        }
-        let s = Arc::new(TableStats::compute(self.table(name)?));
-        self.stats_cache.put(name.to_string(), Arc::clone(&s));
-        Ok(s)
+        Ok(self.stats_cache.get_or_compute(self.table(name)?))
     }
 
     /// The shared plan cache handle (see the field docs for the sharing
@@ -224,7 +387,7 @@ impl Database {
         for (name, table) in &self.tables {
             let sub = match selection.get(name) {
                 Some(ids) => table.subset(ids)?,
-                None => Table::new(name.clone(), table.schema().clone()),
+                None => table.empty_like(),
             };
             out.add_table(sub)?;
         }
@@ -235,6 +398,27 @@ impl Database {
         out.plan_cache = Arc::clone(&self.plan_cache);
         Ok(out)
     }
+}
+
+/// FNV-1a fold over (name, version) pairs, shared by the whole-database and
+/// per-query data fingerprints. Same constants as
+/// [`crate::plan_cache::schema_fingerprint`].
+fn fnv_fold<'a>(pairs: impl Iterator<Item = (&'a str, u64)>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for (name, version) in pairs {
+        eat(name.as_bytes());
+        eat(&[0xff]);
+        eat(&version.to_le_bytes());
+    }
+    h
 }
 
 #[cfg(test)]
@@ -306,6 +490,87 @@ mod tests {
         });
         assert_eq!(rec2.report().counters["db.stats.computes"], 1);
         assert_eq!(db.table_stats("t").unwrap().row_count, 6);
+    }
+
+    #[test]
+    fn cardinality_cache_rejects_stale_counts() {
+        use crate::sql::parse;
+        use asqp_telemetry as telemetry;
+        use std::sync::Arc as StdArc;
+
+        let mut db = db();
+        let q = parse("SELECT t.id FROM t AS t WHERE t.id >= 0").unwrap();
+        assert_eq!(db.cached_row_count(&q).unwrap(), 5);
+
+        let rec = StdArc::new(telemetry::MemoryRecorder::new());
+        telemetry::scoped(rec.clone(), || {
+            assert_eq!(db.cached_row_count(&q).unwrap(), 5, "served from cache");
+        });
+        assert_eq!(rec.report().counters["db.count_cache.hit"], 1);
+
+        // Append through the incremental path: no wholesale clear happens,
+        // yet the fingerprint mismatch forces a recount.
+        db.append_rows("t", &[vec![Value::Int(5)], vec![Value::Int(6)]])
+            .unwrap();
+        let rec2 = StdArc::new(telemetry::MemoryRecorder::new());
+        telemetry::scoped(rec2.clone(), || {
+            assert_eq!(db.cached_row_count(&q).unwrap(), 7, "stale count rejected");
+        });
+        assert_eq!(rec2.report().counters["db.count_cache.stale"], 1);
+        assert!(!rec2.report().counters.contains_key("db.count_cache.hit"));
+    }
+
+    #[test]
+    fn append_rows_absorbs_into_cached_stats() {
+        use asqp_telemetry as telemetry;
+        use std::sync::Arc as StdArc;
+
+        let mut db = db();
+        db.table_stats("t").unwrap(); // warm the accumulator
+
+        let rec = StdArc::new(telemetry::MemoryRecorder::new());
+        telemetry::scoped(rec.clone(), || {
+            db.append_rows("t", &[vec![Value::Int(100)]]).unwrap();
+            let s = db.table_stats("t").unwrap();
+            assert_eq!(s.row_count, 6);
+            assert_eq!(s.columns[0].max, Some(Value::Int(100)));
+        });
+        let counters = &rec.report().counters;
+        assert_eq!(counters["db.stats.incremental"], 1);
+        assert!(
+            !counters.contains_key("db.stats.computes"),
+            "append must not trigger a full stats recompute"
+        );
+
+        // The maintained stats equal a from-scratch compute byte for byte.
+        let fresh = TableStats::compute(db.table("t").unwrap());
+        assert_eq!(*db.table_stats("t").unwrap(), fresh);
+    }
+
+    #[test]
+    fn update_rows_maintains_stats_and_counts() {
+        let mut db = db();
+        db.table_stats("t").unwrap();
+        db.update_rows("t", &[(0, vec![Value::Int(-50)])]).unwrap();
+        let s = db.table_stats("t").unwrap();
+        assert_eq!(s.row_count, 5);
+        assert_eq!(s.columns[0].min, Some(Value::Int(-50)));
+        assert_eq!(*s, TableStats::compute(db.table("t").unwrap()));
+        assert!(db.update_rows("t", &[(99, vec![Value::Null])]).is_err());
+        assert!(db.update_rows("missing", &[]).is_err());
+    }
+
+    #[test]
+    fn data_fingerprint_moves_with_data() {
+        let mut db = db();
+        let fp0 = db.data_fingerprint();
+        db.append_rows("t", &[vec![Value::Int(9)]]).unwrap();
+        let fp1 = db.data_fingerprint();
+        assert_ne!(fp0, fp1);
+        // Subsets snapshot the parent's versions, so their fingerprint
+        // matches the parent's at materialisation time.
+        let sub = db.subset(&BTreeMap::new()).unwrap();
+        assert_eq!(sub.data_fingerprint(), fp1);
     }
 
     #[test]

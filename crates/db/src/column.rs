@@ -100,15 +100,7 @@ impl Column {
             (ColumnData::Float(d), Value::Int(i)) => d.push(*i as f64),
             (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
             (ColumnData::Str { codes, dict }, Value::Str(s)) => {
-                let code = match self.dict_index.get(s.as_str()) {
-                    Some(&c) => c,
-                    None => {
-                        let c = dict.len() as u32;
-                        dict.push(s.clone());
-                        self.dict_index.insert(s.clone(), c);
-                        c
-                    }
-                };
+                let code = dict_code(dict, &mut self.dict_index, s);
                 codes.push(code);
             }
             (_, v) => {
@@ -122,6 +114,43 @@ impl Column {
             }
         }
         self.validity.push(true);
+        Ok(())
+    }
+
+    /// Overwrite the value at `idx` in place, with the same typing rules as
+    /// [`Column::push`]. Used by the incremental-update path; stale
+    /// dictionary entries left behind by overwritten strings are harmless
+    /// (codes simply stop referencing them).
+    pub fn set(&mut self, idx: usize, v: &Value) -> DbResult<()> {
+        if idx >= self.validity.len() {
+            return Err(DbError::ShapeMismatch(format!(
+                "row id {idx} out of range for column of {} rows",
+                self.validity.len()
+            )));
+        }
+        if v.is_null() {
+            self.validity[idx] = false;
+            return Ok(());
+        }
+        match (&mut self.data, v) {
+            (ColumnData::Int(d), Value::Int(i)) => d[idx] = *i,
+            (ColumnData::Float(d), Value::Float(f)) => d[idx] = *f,
+            (ColumnData::Float(d), Value::Int(i)) => d[idx] = *i as f64,
+            (ColumnData::Bool(d), Value::Bool(b)) => d[idx] = *b,
+            (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+                codes[idx] = dict_code(dict, &mut self.dict_index, s);
+            }
+            (_, v) => {
+                return Err(DbError::TypeMismatch {
+                    expected: self.ty().to_string(),
+                    found: v
+                        .value_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "NULL".into()),
+                })
+            }
+        }
+        self.validity[idx] = true;
         Ok(())
     }
 
@@ -197,6 +226,28 @@ impl Column {
 
     pub fn validity(&self) -> &[bool] {
         &self.validity
+    }
+}
+
+/// Find-or-insert a dictionary code for `s`, lazily rebuilding the reverse
+/// index when it is stale (it is not serialised, so a deserialised column
+/// starts with a populated `dict` but an empty index).
+fn dict_code(dict: &mut Vec<String>, index: &mut HashMap<String, u32>, s: &str) -> u32 {
+    if index.len() < dict.len() {
+        *index = dict
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.clone(), i as u32))
+            .collect();
+    }
+    match index.get(s) {
+        Some(&c) => c,
+        None => {
+            let c = dict.len() as u32;
+            dict.push(s.to_string());
+            index.insert(s.to_string(), c);
+            c
+        }
     }
 }
 

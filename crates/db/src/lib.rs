@@ -57,7 +57,7 @@ pub use plan_cache::PlanCache;
 pub use query::{AggExpr, AggFunc, JoinCond, OrderKey, Query, QueryBuilder, SelectItem, TableRef};
 pub use schema::{ColumnDef, Schema};
 pub use sql_stmt::{execute_statement, parse_statement, Statement, StatementResult};
-pub use stats::{ColumnStats, TableStats};
+pub use stats::{ColumnStats, StatsAccum, TableStats};
 pub use table::Table;
 pub use value::{Row, Value, ValueType};
 pub use workload::Workload;

@@ -189,8 +189,12 @@ pub fn plan_query(db: &Database, query: &Query, use_cache: bool) -> DbResult<Phy
     let mut physical = optimize(db, query)?.physical;
     let mut tables = Vec::with_capacity(query.from.len());
     for tref in &query.from {
-        let schema = db.table(&tref.table)?.schema();
-        tables.push((tref.table.clone(), schema_fingerprint(schema)));
+        let table = db.table(&tref.table)?;
+        tables.push((
+            tref.table.clone(),
+            schema_fingerprint(table.schema()),
+            table.data_version(),
+        ));
     }
     db.plan_cache().put(
         key,
@@ -207,7 +211,10 @@ pub fn plan_query(db: &Database, query: &Query, use_cache: bool) -> DbResult<Phy
 }
 
 /// A cached plan applies iff the query still names the same tables and each
-/// table's schema fingerprint is unchanged on the executing database.
+/// table's schema fingerprint *and data version* are unchanged on the
+/// executing database. The version check is what makes the cache safe under
+/// incremental ingest: an append or update bumps the table's version, so
+/// plans tuned to the old statistics are replanned instead of replayed.
 fn cache_valid(db: &Database, query: &Query, cached: &CachedPlan) -> bool {
     if cached.tables.len() != query.from.len() || cached.join_order.len() != query.from.len() {
         return false;
@@ -216,11 +223,11 @@ fn cache_valid(db: &Database, query: &Query, cached: &CachedPlan) -> bool {
         .from
         .iter()
         .zip(&cached.tables)
-        .all(|(tref, (name, fp))| {
+        .all(|(tref, (name, fp, version))| {
             tref.table == *name
-                && db
-                    .table(&tref.table)
-                    .is_ok_and(|t| schema_fingerprint(t.schema()) == *fp)
+                && db.table(&tref.table).is_ok_and(|t| {
+                    schema_fingerprint(t.schema()) == *fp && t.data_version() == *version
+                })
         })
 }
 
@@ -571,6 +578,40 @@ mod tests {
             plan_query(&db, &q, true).unwrap().cache,
             PlanCacheStatus::Miss,
             "fingerprint mismatch forces a replan"
+        );
+    }
+
+    #[test]
+    fn cache_rejects_data_changes() {
+        // Regression test for the latent staleness bug: before data
+        // versions were recorded, a cached plan survived appends — the
+        // join order chosen for the old data kept being served even after
+        // the tables' relative sizes inverted.
+        let mut db = db();
+        let q = parse("SELECT f.id FROM fact AS f, dim AS d WHERE f.dim_id = d.id").unwrap();
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Miss
+        );
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Hit
+        );
+
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(100 + i), Value::Int(100 + i)])
+            .collect();
+        db.append_rows("dim", &rows).unwrap();
+        let replanned = plan_query(&db, &q, true).unwrap();
+        assert_eq!(
+            replanned.cache,
+            PlanCacheStatus::Miss,
+            "data-version mismatch forces a replan after an append"
+        );
+        assert_eq!(
+            plan_query(&db, &q, true).unwrap().cache,
+            PlanCacheStatus::Hit,
+            "the refreshed entry is served again at the new version"
         );
     }
 

@@ -59,9 +59,13 @@ pub struct CachedPlan {
     pub est_scan_rows: Vec<f64>,
     /// Estimated intermediate size after each join step (len = bindings-1).
     pub est_join_rows: Vec<f64>,
-    /// Per FROM binding: (catalog table name, schema fingerprint). A hit is
-    /// honoured only when these still match the executing database.
-    pub tables: Vec<(String, u64)>,
+    /// Per FROM binding: (catalog table name, schema fingerprint, data
+    /// version). A hit is honoured only when all three still match the
+    /// executing database — the data version catches appends/updates whose
+    /// shifted statistics would otherwise leave a stale join order in
+    /// place, and lets subsets (which snapshot their parent's versions)
+    /// keep sharing the parent's plans.
+    pub tables: Vec<(String, u64, u64)>,
 }
 
 #[derive(Debug)]

@@ -5,12 +5,25 @@
 //! standard deviation of numerical columns, a sampled set of categorical
 //! columns (with repetition to account for popularity)". This module
 //! computes exactly that, plus histograms used by the QuickR-style baseline.
+//!
+//! Statistics are produced in two stages so they can be maintained
+//! *incrementally* under appends and in-place updates:
+//!
+//! 1. [`StatsAccum`] — an order-insensitive accumulator (per-column value
+//!    counts in a `BTreeMap`). Absorbing rows one batch at a time converges
+//!    to exactly the accumulator a from-scratch pass would build.
+//! 2. [`StatsAccum::derive`] — a pure, value-ordered walk of the
+//!    accumulator producing [`TableStats`]. Because derivation never sees
+//!    arrival order, incrementally maintained statistics are byte-identical
+//!    to rebuilt-from-scratch ones (the `incremental_equivalence` suite
+//!    asserts this).
 
+use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::{Value, ValueType};
 use asqp_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of most-frequent values retained per column.
 pub const TOP_K: usize = 16;
@@ -18,7 +31,7 @@ pub const TOP_K: usize = 16;
 pub const HIST_BUCKETS: usize = 20;
 
 /// Statistics for one column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnStats {
     pub name: String,
     pub ty: ValueType,
@@ -67,99 +80,169 @@ impl ColumnStats {
 }
 
 /// Statistics for one table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TableStats {
     pub table: String,
     pub row_count: usize,
     pub columns: Vec<ColumnStats>,
 }
 
-impl TableStats {
-    /// Compute statistics with a single pass per column.
-    ///
-    /// This is an O(rows × columns) walk; per-query callers should go
-    /// through [`crate::catalog::Database::table_stats`], which memoises the
-    /// result until the table mutates. The counter below is what the
-    /// memoisation regression test asserts on.
-    pub fn compute(table: &Table) -> TableStats {
-        telemetry::counter("db.stats.computes", 1);
-        let n = table.row_count();
-        let mut columns = Vec::with_capacity(table.schema().len());
-        for (ci, cdef) in table.schema().columns().iter().enumerate() {
-            let col = table.column(ci);
-            let mut null_count = 0usize;
-            let mut counts: HashMap<Value, usize> = HashMap::new();
-            let mut min: Option<Value> = None;
-            let mut max: Option<Value> = None;
-            let mut sum = 0.0f64;
-            let mut sum_sq = 0.0f64;
-            let mut numeric_n = 0usize;
-            for rid in 0..n {
-                let v = col.get(rid);
-                if v.is_null() {
-                    null_count += 1;
-                    continue;
-                }
-                if min.as_ref().is_none_or(|m| v < *m) {
-                    min = Some(v.clone());
-                }
-                if max.as_ref().is_none_or(|m| v > *m) {
-                    max = Some(v.clone());
-                }
-                if let Some(f) = v.as_f64() {
-                    sum += f;
-                    sum_sq += f * f;
-                    numeric_n += 1;
-                }
-                *counts.entry(v).or_insert(0) += 1;
+/// Order-insensitive per-column accumulator: exact value counts plus a null
+/// count. Two accumulators that saw the same multiset of rows are equal,
+/// whatever the arrival order or batching.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ColumnAccum {
+    counts: BTreeMap<Value, usize>,
+    null_count: usize,
+}
+
+impl ColumnAccum {
+    fn add(&mut self, v: Value) {
+        if v.is_null() {
+            self.null_count += 1;
+        } else {
+            *self.counts.entry(v).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, v: &Value) {
+        if v.is_null() {
+            self.null_count = self.null_count.saturating_sub(1);
+        } else if let Some(c) = self.counts.get_mut(v) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(v);
             }
-            let distinct = counts.len();
-            // asqp::allow(iter-order): sorted with a total tie-break immediately below
-            let mut top: Vec<(Value, usize)> = counts.into_iter().collect();
-            top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            top.truncate(TOP_K);
+        }
+    }
+}
 
-            let (mean, std) = if numeric_n > 0 {
-                let m = sum / numeric_n as f64;
-                let var = (sum_sq / numeric_n as f64 - m * m).max(0.0);
-                (Some(m), Some(var.sqrt()))
-            } else {
-                (None, None)
-            };
+/// Incrementally maintainable statistics state for one table (see the
+/// module docs for the two-stage design).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsAccum {
+    row_count: usize,
+    columns: Vec<ColumnAccum>,
+}
 
-            // Histogram (second cheap pass, numeric only).
-            let mut histogram = vec![0usize; 0];
-            if numeric_n > 0 {
-                let minf = min.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
-                let maxf = max.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
-                histogram = vec![0usize; HIST_BUCKETS];
-                let width = ((maxf - minf) / HIST_BUCKETS as f64).max(f64::MIN_POSITIVE);
-                for rid in 0..n {
-                    if let Some(f) = col.get_f64(rid) {
-                        let b = (((f - minf) / width) as usize).min(HIST_BUCKETS - 1);
-                        histogram[b] += 1;
+impl StatsAccum {
+    /// Full O(rows × columns) pass over a table. This is the expensive
+    /// stage; per-query callers should go through
+    /// [`crate::catalog::Database::table_stats`], which memoises the
+    /// accumulator until the table's data version moves. The counter below
+    /// is what the memoisation regression test asserts on.
+    pub fn from_table(table: &Table) -> StatsAccum {
+        telemetry::counter("db.stats.computes", 1);
+        let mut acc = StatsAccum {
+            row_count: 0,
+            columns: vec![ColumnAccum::default(); table.schema().len()],
+        };
+        acc.absorb_rows(table, 0);
+        acc
+    }
+
+    /// Fold rows `[from_row, table.row_count())` into the accumulator — the
+    /// incremental append path. Absorbing a batch costs O(batch × columns),
+    /// independent of how large the table already is.
+    pub fn absorb_rows(&mut self, table: &Table, from_row: usize) {
+        let n = table.row_count();
+        for (ci, acc) in self.columns.iter_mut().enumerate() {
+            let col = table.column(ci);
+            for rid in from_row..n {
+                acc.add(col.get(rid));
+            }
+        }
+        self.row_count = n;
+    }
+
+    /// Apply an in-place row overwrite: retract the old row's values and
+    /// absorb the new row's. Row count is unchanged.
+    pub fn apply_update(&mut self, old_row: &[Value], new_row: &[Value]) {
+        for (ci, acc) in self.columns.iter_mut().enumerate() {
+            if let (Some(old), Some(new)) = (old_row.get(ci), new_row.get(ci)) {
+                acc.remove(old);
+                acc.add(new.clone());
+            }
+        }
+    }
+
+    /// Derive [`TableStats`] from the accumulator: a pure walk in value
+    /// order (distinct counts, BTreeMap endpoints for min/max, count-
+    /// weighted sums for mean/std, per-value histogram bucketing, top-K by
+    /// count-then-value). Costs O(distinct × columns).
+    pub fn derive(&self, table_name: &str, schema: &Schema) -> TableStats {
+        let columns = schema
+            .columns()
+            .iter()
+            .zip(&self.columns)
+            .map(|(cdef, acc)| {
+                let distinct = acc.counts.len();
+                let min = acc.counts.keys().next().cloned();
+                let max = acc.counts.keys().next_back().cloned();
+
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                let mut numeric_n = 0usize;
+                for (v, &c) in &acc.counts {
+                    if let Some(f) = v.as_f64() {
+                        sum += f * c as f64;
+                        sum_sq += f * f * c as f64;
+                        numeric_n += c;
                     }
                 }
-            }
+                let (mean, std) = if numeric_n > 0 {
+                    let m = sum / numeric_n as f64;
+                    let var = (sum_sq / numeric_n as f64 - m * m).max(0.0);
+                    (Some(m), Some(var.sqrt()))
+                } else {
+                    (None, None)
+                };
 
-            columns.push(ColumnStats {
-                name: cdef.name.clone(),
-                ty: cdef.ty,
-                null_count,
-                distinct,
-                min,
-                max,
-                mean,
-                std,
-                top_values: top,
-                histogram,
-            });
-        }
+                let mut top: Vec<(Value, usize)> =
+                    acc.counts.iter().map(|(v, &c)| (v.clone(), c)).collect();
+                top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                top.truncate(TOP_K);
+
+                let mut histogram = vec![0usize; 0];
+                if numeric_n > 0 {
+                    let minf = min.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+                    let maxf = max.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+                    histogram = vec![0usize; HIST_BUCKETS];
+                    let width = ((maxf - minf) / HIST_BUCKETS as f64).max(f64::MIN_POSITIVE);
+                    for (v, &c) in &acc.counts {
+                        if let Some(f) = v.as_f64() {
+                            let b = (((f - minf) / width) as usize).min(HIST_BUCKETS - 1);
+                            histogram[b] += c;
+                        }
+                    }
+                }
+
+                ColumnStats {
+                    name: cdef.name.clone(),
+                    ty: cdef.ty,
+                    null_count: acc.null_count,
+                    distinct,
+                    min,
+                    max,
+                    mean,
+                    std,
+                    top_values: top,
+                    histogram,
+                }
+            })
+            .collect();
         TableStats {
-            table: table.name().to_string(),
-            row_count: n,
+            table: table_name.to_string(),
+            row_count: self.row_count,
             columns,
         }
+    }
+}
+
+impl TableStats {
+    /// Compute statistics from scratch (accumulate, then derive).
+    pub fn compute(table: &Table) -> TableStats {
+        StatsAccum::from_table(table).derive(table.name(), table.schema())
     }
 
     pub fn column(&self, name: &str) -> Option<&ColumnStats> {
@@ -227,5 +310,40 @@ mod tests {
         assert_eq!(s.columns[0].distinct, 0);
         assert!(s.columns[0].min.is_none());
         assert!(s.columns[0].mean.is_none());
+    }
+
+    #[test]
+    fn absorb_converges_to_from_scratch() {
+        let full = table();
+        let mut staged = Table::new(
+            "t",
+            Schema::build(&[("x", ValueType::Int), ("s", ValueType::Str)]),
+        );
+        for rid in 0..40 {
+            staged.push_row(&full.row(rid)).unwrap();
+        }
+        let mut acc = StatsAccum::from_table(&staged);
+        for rid in 40..full.row_count() {
+            staged.push_row(&full.row(rid)).unwrap();
+        }
+        acc.absorb_rows(&staged, 40);
+        assert_eq!(acc, StatsAccum::from_table(&full));
+        assert_eq!(
+            acc.derive("t", full.schema()),
+            TableStats::compute(&full),
+            "incremental derive ≡ from-scratch compute"
+        );
+    }
+
+    #[test]
+    fn apply_update_retracts_and_absorbs() {
+        let mut t = table();
+        let mut acc = StatsAccum::from_table(&t);
+        let old = t.row(3);
+        let new = vec![Value::Int(500), Value::Str("common".into())];
+        t.update_rows(&[(3, new.clone())]).unwrap();
+        acc.apply_update(&old, &new);
+        assert_eq!(acc, StatsAccum::from_table(&t));
+        assert_eq!(acc.derive("t", t.schema()), TableStats::compute(&t));
     }
 }

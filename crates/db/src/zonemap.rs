@@ -25,14 +25,14 @@ pub enum ZoneBounds {
 
 /// Summary of one chunk: bounds over non-null values (`None` when the chunk
 /// is entirely NULL) plus a null-presence flag.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Zone {
     pub bounds: Option<ZoneBounds>,
     pub has_nulls: bool,
 }
 
 /// Zone maps for one numeric column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnZones {
     /// One entry per [`MORSEL_ROWS`]-aligned chunk, in row order.
     pub chunks: Vec<Zone>,
@@ -41,41 +41,67 @@ pub struct ColumnZones {
 }
 
 /// Zone maps for every column of a table; `None` for non-numeric columns.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct TableZones {
     pub columns: Vec<Option<ColumnZones>>,
 }
 
 impl TableZones {
     pub fn build(table: &Table) -> TableZones {
+        Self::build_with(table, None, &|_| false)
+    }
+
+    /// Zone maps for `table` after rows were appended, reusing `self`'s
+    /// chunks for every chunk that was already *complete* at `old_rows`.
+    /// Only the trailing partial chunk and the appended rows are rescanned,
+    /// so the result is chunk-for-chunk identical to a full [`build`](Self::build).
+    pub fn extended(&self, table: &Table, old_rows: usize) -> TableZones {
+        let complete = old_rows / MORSEL_ROWS;
+        Self::build_with(table, Some(self), &|chunk| chunk < complete)
+    }
+
+    /// Zone maps for `table` after in-place row updates, recomputing only
+    /// the chunks listed (sorted) in `dirty` and reusing the rest of
+    /// `self`'s chunks. Row count must be unchanged.
+    pub fn refreshed(&self, table: &Table, dirty: &[usize]) -> TableZones {
+        Self::build_with(table, Some(self), &|chunk| {
+            dirty.binary_search(&chunk).is_err()
+        })
+    }
+
+    /// Shared builder: per chunk, either reuse the prior map's entry (when
+    /// `reusable(chunk)` holds and the prior has one) or rescan the rows.
+    /// Exactness is preserved because every reused chunk covers rows that
+    /// did not change.
+    fn build_with(
+        table: &Table,
+        prior: Option<&TableZones>,
+        reusable: &dyn Fn(usize) -> bool,
+    ) -> TableZones {
         let n = table.row_count();
         let columns = (0..table.schema().len())
             .map(|ci| {
                 let col = table.column(ci);
+                let prior_col = prior
+                    .and_then(|z| z.columns.get(ci))
+                    .and_then(|c| c.as_ref());
                 match col.data() {
-                    ColumnData::Int(d) => {
-                        Some(build_zones(d, col.validity(), n, |vals| ZoneBounds::Int {
-                            min: *vals.iter().min().unwrap(),
-                            max: *vals.iter().max().unwrap(),
-                        }))
-                    }
-                    ColumnData::Float(d) => Some(build_zones(d, col.validity(), n, |vals| {
-                        let mut min = f64::INFINITY;
-                        let mut max = f64::NEG_INFINITY;
-                        for &v in vals {
-                            // NaN widens the zone to "anything" so pruning
-                            // stays conservative for NaN-laden chunks.
-                            if v.is_nan() {
-                                return ZoneBounds::Float {
-                                    min: f64::NEG_INFINITY,
-                                    max: f64::INFINITY,
-                                };
-                            }
-                            min = min.min(v);
-                            max = max.max(v);
-                        }
-                        ZoneBounds::Float { min, max }
-                    })),
+                    ColumnData::Int(d) => Some(build_zones(
+                        d,
+                        col.validity(),
+                        n,
+                        prior_col,
+                        reusable,
+                        int_bounds,
+                    )),
+                    ColumnData::Float(d) => Some(build_zones(
+                        d,
+                        col.validity(),
+                        n,
+                        prior_col,
+                        reusable,
+                        float_bounds,
+                    )),
                     _ => None,
                 }
             })
@@ -84,10 +110,37 @@ impl TableZones {
     }
 }
 
+fn int_bounds(vals: &[i64]) -> ZoneBounds {
+    ZoneBounds::Int {
+        min: *vals.iter().min().unwrap_or(&0),
+        max: *vals.iter().max().unwrap_or(&0),
+    }
+}
+
+fn float_bounds(vals: &[f64]) -> ZoneBounds {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in vals {
+        // NaN widens the zone to "anything" so pruning
+        // stays conservative for NaN-laden chunks.
+        if v.is_nan() {
+            return ZoneBounds::Float {
+                min: f64::NEG_INFINITY,
+                max: f64::INFINITY,
+            };
+        }
+        min = min.min(v);
+        max = max.max(v);
+    }
+    ZoneBounds::Float { min, max }
+}
+
 fn build_zones<T: Copy>(
     data: &[T],
     validity: &[bool],
     n: usize,
+    prior: Option<&ColumnZones>,
+    reusable: &dyn Fn(usize) -> bool,
     bounds_of: impl Fn(&[T]) -> ZoneBounds,
 ) -> ColumnZones {
     let mut chunks = Vec::with_capacity(n.div_ceil(MORSEL_ROWS).max(1));
@@ -95,6 +148,16 @@ fn build_zones<T: Copy>(
     let mut scratch: Vec<T> = Vec::with_capacity(MORSEL_ROWS);
     while start < n {
         let end = (start + MORSEL_ROWS).min(n);
+        let chunk = start / MORSEL_ROWS;
+        if let Some(p) = prior {
+            if reusable(chunk) {
+                if let Some(z) = p.chunks.get(chunk) {
+                    chunks.push(*z);
+                    start = end;
+                    continue;
+                }
+            }
+        }
         scratch.clear();
         let mut has_nulls = false;
         for i in start..end {
@@ -172,6 +235,19 @@ impl ZoneCache {
 
     pub fn invalidate(&self) {
         *self.0.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Remove and return the built maps, if any. The incremental mutation
+    /// path takes the old maps out before mutating the table, then derives
+    /// the successor maps from them with [`TableZones::extended`] /
+    /// [`TableZones::refreshed`] and stores the result via [`ZoneCache::set`].
+    pub fn take_built(&self) -> Option<Arc<TableZones>> {
+        self.0.write().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    /// Install pre-built maps (must describe the table's current contents).
+    pub fn set(&self, zones: Arc<TableZones>) {
+        *self.0.write().unwrap_or_else(|e| e.into_inner()) = Some(zones);
     }
 }
 
@@ -251,6 +327,41 @@ mod tests {
         t.push_row(&[Value::Str("a".into())]).unwrap();
         let z = TableZones::build(&t);
         assert!(z.columns[0].is_none());
+    }
+
+    #[test]
+    fn extended_matches_full_rebuild() {
+        let vals: Vec<Option<i64>> = (0..(MORSEL_ROWS as i64 + 100)).map(Some).collect();
+        let mut t = table_with_ints(&vals);
+        let old = TableZones::build(&t);
+        let old_rows = t.row_count();
+        for i in 0..(MORSEL_ROWS as i64) {
+            t.push_row(&[Value::Int(-i)]).unwrap();
+        }
+        let inc = old.extended(&t, old_rows);
+        let full = TableZones::build(&t);
+        assert_eq!(inc, full, "incremental extension must equal a rebuild");
+    }
+
+    #[test]
+    fn refreshed_matches_full_rebuild() {
+        let mut vals: Vec<Option<i64>> = (0..(MORSEL_ROWS as i64 * 3)).map(Some).collect();
+        let t = table_with_ints(&vals);
+        let old = TableZones::build(&t);
+        // Shrink the min of chunk 1: a refresh must not keep the old bound.
+        vals[MORSEL_ROWS + 5] = Some(-777);
+        let t = table_with_ints(&vals);
+        let inc = old.refreshed(&t, &[1]);
+        let full = TableZones::build(&t);
+        assert_eq!(inc, full);
+        let cz = inc.columns[0].as_ref().unwrap();
+        assert_eq!(
+            cz.chunks[1].bounds,
+            Some(ZoneBounds::Int {
+                min: -777,
+                max: MORSEL_ROWS as i64 * 2 - 1
+            })
+        );
     }
 
     #[test]

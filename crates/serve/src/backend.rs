@@ -74,6 +74,37 @@ pub trait SessionBackend: Send + Sync + 'static {
     }
 }
 
+/// Shared backends serve through `Arc` unchanged — a streaming harness
+/// keeps one handle for concurrent ingest while the server owns another.
+impl<B: SessionBackend> SessionBackend for Arc<B> {
+    fn plan(&self, q: &Query) -> RouteDecision {
+        (**self).plan(q)
+    }
+
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        (**self).answer_subset(q)
+    }
+
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        (**self).answer_full(q)
+    }
+
+    fn finish(&self, q: &Query, decision: &RouteDecision) -> DbResult<()> {
+        (**self).finish(q, decision)
+    }
+
+    fn share_epoch(&self) -> u64 {
+        (**self).share_epoch()
+    }
+
+    fn pinned_subset_scan<'a>(
+        &'a self,
+        q: &'a Query,
+    ) -> (u64, Box<dyn FnOnce() -> DbResult<ResultSet> + Send + 'a>) {
+        (**self).pinned_subset_scan(q)
+    }
+}
+
 impl SessionBackend for Session {
     fn plan(&self, q: &Query) -> RouteDecision {
         let plan = Session::plan(self, q);

@@ -1,0 +1,42 @@
+//! Deterministic streaming chaos run: interleave seeded ingest with
+//! fault-injected queries over a live database and print the canonical
+//! transcript plus the write-ledger footer.
+//!
+//! Two invocations with the same seed print byte-identical output, and
+//! the last line is always `lost_writes=<n>` — the CI `streaming` job
+//! runs this twice per seed, diffs the transcripts, and greps for
+//! `^lost_writes=0$`. Usage:
+//!
+//! ```text
+//! stream_run [--seed N] [--ops N]
+//! ```
+
+use asqp_serve::{run_stream, StreamConfig};
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: stream_run [--seed N] [--ops N]");
+        return;
+    }
+    let seed = parse_flag(&args, "--seed").unwrap_or(0xFEED_2024);
+    let mut cfg = StreamConfig::chaos(seed);
+    if let Some(n) = parse_flag(&args, "--ops") {
+        cfg.ops = n;
+    }
+
+    match run_stream(&cfg) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => {
+            eprintln!("stream_run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,6 +36,13 @@ pub enum EventKind {
     Resolved { source: ServedSource, rows: usize },
     /// The request resolved with a fatal error.
     Failed,
+    /// A streaming ingest batch was appended (`total` = table rows after).
+    Appended { rows: usize, total: usize },
+    /// A streaming batch of in-place row updates was applied.
+    Updated { rows: usize },
+    /// A data-drift observation ran; `refreshed` is whether the serving
+    /// view was stale and got re-materialised.
+    DataDrift { refreshed: bool },
 }
 
 impl fmt::Display for EventKind {
@@ -60,6 +67,9 @@ impl fmt::Display for EventKind {
                 write!(f, "resolved source={source} rows={rows}")
             }
             EventKind::Failed => write!(f, "failed"),
+            EventKind::Appended { rows, total } => write!(f, "appended rows={rows} total={total}"),
+            EventKind::Updated { rows } => write!(f, "updated rows={rows}"),
+            EventKind::DataDrift { refreshed } => write!(f, "data_drift refreshed={refreshed}"),
         }
     }
 }

@@ -26,6 +26,12 @@
 //! - [`run_mt_sim`] — the multi-tenant simulator replaying a generated
 //!   trace of up to ~10⁶ tenants under the same seeded fault plan, with
 //!   a digest-based transcript the CI `multitenant` job diffs.
+//! - [`run_stream`] — the living-data scenario: a [`LiveBackend`] serves
+//!   fault-injected queries while seeded ingest batches and in-place
+//!   updates mutate the full database, with periodic data-drift
+//!   observations re-materialising the serving view and a write ledger
+//!   proving zero lost writes (the CI `streaming` job double-runs it and
+//!   byte-compares the transcripts).
 //!
 //! Telemetry: the server emits `serve.*` counters (admitted, rejected,
 //! degraded, retries, resolved.{subset,full}, fatal) and a
@@ -44,6 +50,7 @@ pub mod multitenant;
 pub mod queue;
 pub mod server;
 pub mod sim;
+pub mod stream;
 pub mod tenant;
 
 pub use backend::{MirrorBackend, RouteDecision, SessionBackend};
@@ -57,4 +64,7 @@ pub use multitenant::{MtConfig, MtServer};
 pub use queue::AdmissionQueue;
 pub use server::{ServeConfig, Server, ServerStats, Ticket};
 pub use sim::{run_sim, SimConfig, SimReport};
+pub use stream::{
+    run_stream, stream_fixture, LiveBackend, StreamConfig, StreamReport, StreamStats,
+};
 pub use tenant::{StripedAllocator, TenantCounters, TenantId, TenantRegistry, TenantStats};

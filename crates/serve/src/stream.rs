@@ -1,0 +1,546 @@
+//! Living-data streaming scenario: serving while the database grows.
+//!
+//! The chaos simulator ([`run_sim`](crate::run_sim)) proves the serving
+//! ladder on a *frozen* database. This module closes the remaining gap
+//! to the paper's exploration story: the full database keeps receiving
+//! rows while analysts query it, and the approximation-set view must
+//! follow the data without ever serving from a torn or silently stale
+//! state.
+//!
+//! Two pieces:
+//!
+//! * [`LiveBackend`] — a [`SessionBackend`] over a **mutable** full
+//!   database plus an immutable serving *view* (the approximation-set
+//!   stand-in: a deterministic row sample, like the `MirrorBackend` is a
+//!   model-free stand-in for a trained session). Ingest goes through
+//!   [`LiveBackend::append`] / [`LiveBackend::update`]; queries read a
+//!   point-in-time `Arc` snapshot of the view, so a refresh never tears
+//!   an in-flight answer. Staleness is a *version* property:
+//!   [`LiveBackend::observe_data`] compares the live
+//!   [`data_fingerprint`](asqp_db::Database::data_fingerprint) with the
+//!   view's inherited one (subsets snapshot their parent's data
+//!   versions) and re-materialises only on drift — the serving-tier
+//!   mirror of `asqp_core::Session::observe_data`.
+//! * [`run_stream`] — a deterministic interleaving of ingest batches,
+//!   in-place updates, fault-injected queries, and periodic drift
+//!   observations, driven entirely by splitmix64 hashes of
+//!   `(seed, op)`. Same seed ⇒ byte-identical [`StreamReport::render`]
+//!   transcript (including every real row count the live database
+//!   returned), plus a write ledger whose `lost_writes=0` footer line is
+//!   what the CI `streaming` job greps for.
+
+use crate::backend::{MirrorBackend, RouteDecision, SessionBackend};
+use crate::backoff::RetryPolicy;
+use crate::error::ServedSource;
+use crate::event::{EventKind, EventLog};
+use crate::fault::{splitmix64, FaultPlan};
+use asqp_db::{sql, Database, DbResult, Query, ResultSet, Row, Schema, Value, ValueType};
+use asqp_telemetry as telemetry;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+/// A serving backend over a live, growing database.
+///
+/// Writers mutate the full database under an exclusive lock; readers
+/// answer subset-routed queries from an `Arc` snapshot of the last
+/// materialised view and full-routed queries from the live database
+/// under a shared lock. The view deliberately lags ingest until a drift
+/// observation refreshes it — exactly the approximation-set lifecycle,
+/// with the fingerprint check standing in for the session's.
+pub struct LiveBackend {
+    live: RwLock<Database>,
+    view: RwLock<Arc<Database>>,
+    /// Percentage (0–100) of queries hash-routed to the view.
+    subset_pct: u8,
+    /// View sampling stride: every `stride`-th row per table.
+    stride: usize,
+}
+
+impl LiveBackend {
+    pub fn new(db: Database, subset_pct: u8, stride: usize) -> DbResult<LiveBackend> {
+        let stride = stride.max(1);
+        let view = Arc::new(materialize_view(&db, stride)?);
+        Ok(LiveBackend {
+            live: RwLock::new(db),
+            view: RwLock::new(view),
+            subset_pct: subset_pct.min(100),
+            stride,
+        })
+    }
+
+    fn read_live(&self) -> RwLockReadGuard<'_, Database> {
+        self.live.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Append `rows` to `table` in the live database. Returns the number
+    /// of rows acknowledged — the caller's write ledger counts these.
+    pub fn append(&self, table: &str, rows: &[Row]) -> DbResult<usize> {
+        let n = self
+            .live
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .append_rows(table, rows)?;
+        telemetry::counter("serve.stream.appended_rows", n as u64);
+        Ok(n)
+    }
+
+    /// Overwrite rows of `table` in place.
+    pub fn update(&self, table: &str, updates: &[(usize, Row)]) -> DbResult<usize> {
+        let n = self
+            .live
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .update_rows(table, updates)?;
+        telemetry::counter("serve.stream.updated_rows", n as u64);
+        Ok(n)
+    }
+
+    /// Current row count of `table` in the live database (0 if absent).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.read_live()
+            .table(table)
+            .map(|t| t.row_count())
+            .unwrap_or(0)
+    }
+
+    /// Data fingerprint of the live database.
+    pub fn data_fingerprint(&self) -> u64 {
+        self.read_live().data_fingerprint()
+    }
+
+    /// Point-in-time snapshot of the serving view.
+    pub fn view(&self) -> Arc<Database> {
+        Arc::clone(&self.view.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Data fingerprint the current view was materialised at (subsets
+    /// inherit their parent tables' data versions).
+    pub fn view_fingerprint(&self) -> u64 {
+        self.view().data_fingerprint()
+    }
+
+    /// Observe the live database for data drift and re-materialise the
+    /// serving view if it is stale. Returns `true` when a refresh ran.
+    /// In-flight queries keep their old `Arc` snapshot — the swap can
+    /// never tear an answer.
+    pub fn observe_data(&self) -> DbResult<bool> {
+        let fresh = {
+            let live = self.read_live();
+            if live.data_fingerprint() == self.view_fingerprint() {
+                return Ok(false);
+            }
+            telemetry::counter("serve.stream.data_drift", 1);
+            // Materialised under the same read guard that saw the drift,
+            // so the new view is a consistent snapshot of one version.
+            materialize_view(&live, self.stride)?
+        };
+        *self.view.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(fresh);
+        telemetry::counter("serve.stream.refresh", 1);
+        Ok(true)
+    }
+}
+
+impl SessionBackend for LiveBackend {
+    fn plan(&self, q: &Query) -> RouteDecision {
+        RouteDecision::bare(MirrorBackend::routes_to_subset(
+            &q.to_sql(),
+            self.subset_pct,
+        ))
+    }
+
+    fn answer_subset(&self, q: &Query) -> DbResult<ResultSet> {
+        self.view().execute(q)
+    }
+
+    fn answer_full(&self, q: &Query) -> DbResult<ResultSet> {
+        self.read_live().execute(q)
+    }
+}
+
+/// Deterministic row sample: every `stride`-th row of every table.
+fn materialize_view(db: &Database, stride: usize) -> DbResult<Database> {
+    let mut sel: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for t in db.tables() {
+        sel.insert(
+            t.name().to_string(),
+            (0..t.row_count()).step_by(stride.max(1)).collect(),
+        );
+    }
+    db.subset(&sel)
+}
+
+/// Configuration of one streaming chaos run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Total interleaved operations (ingest batches, updates, queries).
+    pub ops: u64,
+    /// Fault plan for full-DB query attempts; its seed also drives the
+    /// operation mix, batch contents, and query generation.
+    pub faults: FaultPlan,
+    pub retry: RetryPolicy,
+    /// Percentage (0–100) of operations that are ingest batches.
+    pub append_pct: u8,
+    /// Percentage (0–100) of operations that are in-place update batches.
+    pub update_pct: u8,
+    /// Maximum ingest batch size.
+    pub batch_max: usize,
+    /// Maximum rows per update batch.
+    pub update_max: usize,
+    /// Run a data-drift observation after every N operations (0 = only
+    /// the final reconciliation observes).
+    pub observe_every: u64,
+    /// Percentage (0–100) of queries hash-routed to the view.
+    pub subset_pct: u8,
+    /// View sampling stride.
+    pub stride: usize,
+    /// Rows in the seed fixture before streaming starts.
+    pub seed_rows: usize,
+}
+
+impl StreamConfig {
+    /// The reference streaming scenario: 96 operations (≈ a third of
+    /// them writes) against a 256-row fixture under [`FaultPlan::chaos`],
+    /// observing for drift every 8 operations.
+    pub fn chaos(seed: u64) -> StreamConfig {
+        StreamConfig {
+            ops: 96,
+            faults: FaultPlan::chaos(seed),
+            retry: RetryPolicy {
+                max_retries: 3,
+                base_ns: 50_000,
+                cap_ns: 400_000,
+            },
+            append_pct: 25,
+            update_pct: 15,
+            batch_max: 24,
+            update_max: 6,
+            observe_every: 8,
+            subset_pct: 50,
+            stride: 4,
+            seed_rows: 256,
+        }
+    }
+}
+
+/// Counters of one streaming run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    pub ops: u64,
+    pub appends: u64,
+    pub appended_rows: u64,
+    pub updates: u64,
+    pub updated_rows: u64,
+    pub queries: u64,
+    pub resolved_subset: u64,
+    pub resolved_full: u64,
+    pub degraded: u64,
+    pub retries: u64,
+    /// Drift observations that found the view stale and refreshed it.
+    pub refreshes: u64,
+    /// Ledger mismatch: |rows acknowledged − rows present| at the end.
+    /// Anything but 0 means ingest lost (or invented) writes.
+    pub lost_writes: u64,
+}
+
+/// Outcome of a streaming run.
+#[derive(Debug)]
+pub struct StreamReport {
+    pub stats: StreamStats,
+    pub log: EventLog,
+    /// Data fingerprint of the live database after the run.
+    pub final_fingerprint: u64,
+}
+
+impl StreamReport {
+    /// Canonical transcript plus a summary footer. The last line is
+    /// always `lost_writes=<n>` — the CI `streaming` job double-runs,
+    /// byte-compares two renders, and greps for `^lost_writes=0$`.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{}summary ops={} appends={} appended_rows={} updates={} updated_rows={} \
+             queries={} subset={} full={} degraded={} retries={} refreshes={} \
+             fingerprint={:#018x}\nlost_writes={}\n",
+            self.log.render(),
+            s.ops,
+            s.appends,
+            s.appended_rows,
+            s.updates,
+            s.updated_rows,
+            s.queries,
+            s.resolved_subset,
+            s.resolved_full,
+            s.degraded,
+            s.retries,
+            s.refreshes,
+            self.final_fingerprint,
+            s.lost_writes
+        )
+    }
+}
+
+/// Seeded streaming fixture: one `events(id, bucket, score)` table.
+pub fn stream_fixture(seed: u64, rows: usize) -> DbResult<Database> {
+    let mut db = Database::new();
+    let t = db.create_table(
+        "events",
+        Schema::build(&[
+            ("id", ValueType::Int),
+            ("bucket", ValueType::Int),
+            ("score", ValueType::Float),
+        ]),
+    )?;
+    for i in 0..rows {
+        t.push_row(&gen_event_row(seed, i as u64))?;
+    }
+    Ok(db)
+}
+
+/// One deterministic event row.
+fn gen_event_row(seed: u64, n: u64) -> Row {
+    let h = splitmix64(seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    vec![
+        Value::Int(n as i64),
+        Value::Int((h % 16) as i64),
+        Value::Float(((h >> 16) % 1000) as f64 / 10.0),
+    ]
+}
+
+/// One deterministic query over the events table; `id_bound` keeps range
+/// predicates inside (or just past) the ingested id space.
+fn gen_stream_query(h: u64, id_bound: u64) -> DbResult<Query> {
+    let text = match h % 3 {
+        0 => format!(
+            "SELECT e.id FROM events e WHERE e.bucket = {}",
+            splitmix64(h ^ 0xB0) % 16
+        ),
+        1 => {
+            let a = splitmix64(h ^ 0xA1) % id_bound.max(1);
+            let k = 1 + splitmix64(h ^ 0xA2) % 64;
+            format!(
+                "SELECT e.id FROM events e WHERE e.id >= {a} AND e.id < {}",
+                a + k
+            )
+        }
+        _ => format!(
+            "SELECT COUNT(*) FROM events e WHERE e.bucket < {}",
+            1 + splitmix64(h ^ 0xC0) % 15
+        ),
+    };
+    sql::parse(&text)
+}
+
+/// Run one streaming chaos scenario: a pure function of the config. The
+/// transcript records every real row count the live data produced, so a
+/// byte-identical double run certifies the whole ingest + maintenance +
+/// serving pipeline, not just the scheduler.
+pub fn run_stream(cfg: &StreamConfig) -> DbResult<StreamReport> {
+    let seed = cfg.faults.seed;
+    let backend = LiveBackend::new(
+        stream_fixture(seed, cfg.seed_rows)?,
+        cfg.subset_pct,
+        cfg.stride,
+    )?;
+    let log = EventLog::new();
+    let mut stats = StreamStats::default();
+    // The no-lost-writes ledger: every acknowledged append adds here, and
+    // the final row count must match exactly.
+    let mut ledger_rows = cfg.seed_rows as u64;
+    let mut next_id = cfg.seed_rows as u64;
+
+    for op in 0..cfg.ops {
+        let h = splitmix64(seed ^ op.wrapping_mul(0xA076_1D64_78BD_642F));
+        let roll = (h % 100) as u8;
+        if roll < cfg.append_pct {
+            let batch_len = 1 + (splitmix64(h ^ 0xB10C) % cfg.batch_max.max(1) as u64) as usize;
+            let rows: Vec<Row> = (0..batch_len)
+                .map(|i| gen_event_row(seed ^ 0xFEED, next_id + i as u64))
+                .collect();
+            let n = backend.append("events", &rows)?;
+            next_id += n as u64;
+            ledger_rows += n as u64;
+            stats.appends += 1;
+            stats.appended_rows += n as u64;
+            log.push(
+                op,
+                0,
+                EventKind::Appended {
+                    rows: n,
+                    total: backend.row_count("events"),
+                },
+            );
+        } else if roll < cfg.append_pct.saturating_add(cfg.update_pct) {
+            let live_rows = backend.row_count("events") as u64;
+            let k = 1 + (splitmix64(h ^ 0x0DD5) % cfg.update_max.max(1) as u64) as usize;
+            let updates: Vec<(usize, Row)> = (0..k)
+                .map(|i| {
+                    let rid = (splitmix64(h ^ ((i as u64) << 8)) % live_rows.max(1)) as usize;
+                    let mut row = gen_event_row(seed ^ 0xD00D, splitmix64(h) ^ i as u64);
+                    if let Some(cell) = row.get_mut(0) {
+                        *cell = Value::Int(rid as i64);
+                    }
+                    (rid, row)
+                })
+                .collect();
+            let n = backend.update("events", &updates)?;
+            stats.updates += 1;
+            stats.updated_rows += n as u64;
+            log.push(op, 0, EventKind::Updated { rows: n });
+        } else {
+            let q = gen_stream_query(h, next_id)?;
+            serve_stream_query(cfg, &backend, &log, &mut stats, op, &q)?;
+            stats.queries += 1;
+        }
+        if cfg.observe_every > 0 && (op + 1) % cfg.observe_every == 0 {
+            let refreshed = backend.observe_data()?;
+            if refreshed {
+                stats.refreshes += 1;
+            }
+            // seq 16 sorts after any query ladder of the same op.
+            log.push(op, 16, EventKind::DataDrift { refreshed });
+        }
+    }
+
+    // Final reconciliation: one last observation, then settle the ledger.
+    if backend.observe_data()? {
+        stats.refreshes += 1;
+    }
+    let actual = backend.row_count("events") as u64;
+    stats.lost_writes = ledger_rows.abs_diff(actual);
+    stats.ops = cfg.ops;
+    Ok(StreamReport {
+        final_fingerprint: backend.data_fingerprint(),
+        stats,
+        log,
+    })
+}
+
+/// Walk one query through the retry/degrade ladder against the live
+/// backend (real executions; injected faults gate the full route only).
+fn serve_stream_query(
+    cfg: &StreamConfig,
+    backend: &LiveBackend,
+    log: &EventLog,
+    stats: &mut StreamStats,
+    op: u64,
+    q: &Query,
+) -> DbResult<()> {
+    let mut seq = 0u32;
+    let push = |seq: &mut u32, kind: EventKind| {
+        log.push(op, *seq, kind);
+        *seq += 1;
+    };
+    let decision = backend.plan(q);
+    push(
+        &mut seq,
+        EventKind::Routed {
+            answerable: decision.answerable,
+        },
+    );
+
+    if decision.answerable {
+        let rs = backend.answer_subset(q)?;
+        push(
+            &mut seq,
+            EventKind::Resolved {
+                source: ServedSource::Subset,
+                rows: rs.rows.len(),
+            },
+        );
+        stats.resolved_subset += 1;
+        return Ok(());
+    }
+
+    let mut attempt = 0u32;
+    while attempt < cfg.retry.max_attempts() {
+        let fault = cfg.faults.decide(op, attempt);
+        push(
+            &mut seq,
+            EventKind::Attempt {
+                attempt,
+                latency_ns: fault.latency_ns,
+            },
+        );
+        if fault.inject_error {
+            push(&mut seq, EventKind::TransientError { attempt });
+            stats.retries += 1;
+            attempt += 1;
+            continue;
+        }
+        let rs = backend.answer_full(q)?;
+        push(
+            &mut seq,
+            EventKind::Resolved {
+                source: ServedSource::Full,
+                rows: rs.rows.len(),
+            },
+        );
+        stats.resolved_full += 1;
+        return Ok(());
+    }
+
+    push(&mut seq, EventKind::RetriesExhausted);
+    let rs = backend.answer_subset(q)?;
+    push(
+        &mut seq,
+        EventKind::Resolved {
+            source: ServedSource::DegradedSubset,
+            rows: rs.rows.len(),
+        },
+    );
+    stats.degraded += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_renders_identically() {
+        let cfg = StreamConfig::chaos(0xFEED);
+        let a = run_stream(&cfg).unwrap();
+        let b = run_stream(&cfg).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert!(!a.log.is_empty());
+        assert_eq!(a.stats.lost_writes, 0);
+    }
+
+    #[test]
+    fn different_seeds_render_differently() {
+        let a = run_stream(&StreamConfig::chaos(1)).unwrap();
+        let b = run_stream(&StreamConfig::chaos(2)).unwrap();
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn view_lags_then_catches_up() {
+        let backend = LiveBackend::new(stream_fixture(7, 64).unwrap(), 50, 4).unwrap();
+        let fp0 = backend.view_fingerprint();
+        assert_eq!(fp0, backend.data_fingerprint(), "fresh view matches");
+        assert!(!backend.observe_data().unwrap());
+
+        let rows: Vec<Row> = (0..10).map(|i| gen_event_row(7, 64 + i)).collect();
+        backend.append("events", &rows).unwrap();
+        assert_ne!(backend.view_fingerprint(), backend.data_fingerprint());
+        assert!(backend.observe_data().unwrap());
+        assert_eq!(backend.view_fingerprint(), backend.data_fingerprint());
+        assert!(!backend.observe_data().unwrap(), "refresh is idempotent");
+    }
+
+    #[test]
+    fn view_snapshot_survives_refresh() {
+        let backend = LiveBackend::new(stream_fixture(3, 32).unwrap(), 50, 2).unwrap();
+        let pinned = backend.view();
+        let before = pinned.table("events").unwrap().row_count();
+        let rows: Vec<Row> = (0..40).map(|i| gen_event_row(3, 32 + i)).collect();
+        backend.append("events", &rows).unwrap();
+        backend.observe_data().unwrap();
+        assert_eq!(
+            pinned.table("events").unwrap().row_count(),
+            before,
+            "an in-flight snapshot must not observe the refresh"
+        );
+        assert!(backend.view().table("events").unwrap().row_count() > before);
+    }
+}
